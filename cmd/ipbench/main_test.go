@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestRunQuickExperiments(t *testing.T) {
+	// Each experiment flag on the small corpus; output goes to stdout.
+	for _, args := range [][]string{
+		{"-quick", "-table1"},
+		{"-quick", "-timing"},
+		{"-quick", "-fig2"},
+		{"-quick", "-fig3"},
+		{"-quick", "-transfer"},
+		{"-quick", "-codewords"},
+		{"-quick", "-policies"},
+		{"-quick", "-strategies"},
+		{"-quick", "-composition"},
+		{"-quick", "-algorithms"},
+		{"-quick", "-fleet"},
+		{"-quick", "-scratch"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	// JSON mode must run cleanly for a couple of representative results.
+	if err := run([]string{"-quick", "-json", "-fig3", "-policies"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCorpusDirErrors(t *testing.T) {
+	if err := run([]string{"-corpus-dir", "/definitely/missing", "-table1"}); err == nil {
+		t.Fatal("missing corpus dir accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+func writeTemp(t *testing.T, dir, name string, content []byte) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func makeVersions(t *testing.T, n int) [][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	base := make([]byte, 8<<10)
+	rng.Read(base)
+	out := [][]byte{base}
+	for k := 1; k < n; k++ {
+		v := append([]byte(nil), out[k-1]...)
+		for e := 0; e < 40; e++ {
+			v[rng.Intn(len(v))] ^= 0x3C
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func TestStoreLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	versions := makeVersions(t, 4)
+	storePath := filepath.Join(dir, "releases.ipst")
+
+	basePath := writeTemp(t, dir, "v0.img", versions[0])
+	if err := run([]string{"init", "-store", storePath, "-base", basePath}); err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < len(versions); k++ {
+		p := writeTemp(t, dir, "v.img", versions[k])
+		if err := run([]string{"append", "-store", storePath, "-version", p}); err != nil {
+			t.Fatalf("append %d: %v", k, err)
+		}
+	}
+	if err := run([]string{"info", "-store", storePath}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Extract every version and compare.
+	for k := range versions {
+		outPath := filepath.Join(dir, "out.img")
+		if err := run([]string{"extract", "-store", storePath, "-index", strconv.Itoa(k), "-out", outPath}); err != nil {
+			t.Fatalf("extract %d: %v", k, err)
+		}
+		got, err := os.ReadFile(outPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, versions[k]) {
+			t.Fatalf("extracted version %d differs", k)
+		}
+	}
+
+	// Direct delta 0 -> newest, then in-place variant.
+	deltaPath := filepath.Join(dir, "d.ipd")
+	if err := run([]string{"delta", "-store", storePath, "-from", "0", "-out", deltaPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"delta", "-store", storePath, "-from", "0", "-out", deltaPath, "-inplace"}); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(deltaPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("in-place delta missing: %v", err)
+	}
+}
+
+func TestStoreUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	for _, args := range [][]string{
+		{},
+		{"bogus"},
+		{"init"},
+		{"append"},
+		{"info"},
+		{"extract"},
+		{"delta"},
+		{"init", "-store", filepath.Join(dir, "s"), "-base", "missing.img"},
+		{"info", "-store", "missing.ipst"},
+		{"append", "-store", "missing.ipst", "-version", "missing.img"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestStoreDeltaRangeErrors(t *testing.T) {
+	dir := t.TempDir()
+	versions := makeVersions(t, 2)
+	storePath := filepath.Join(dir, "s.ipst")
+	basePath := writeTemp(t, dir, "v0.img", versions[0])
+	if err := run([]string{"init", "-store", storePath, "-base", basePath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"extract", "-store", storePath, "-index", "5", "-out", filepath.Join(dir, "x")}); err == nil {
+		t.Fatal("out-of-range extract accepted")
+	}
+	if err := run([]string{"delta", "-store", storePath, "-from", "3", "-out", filepath.Join(dir, "x")}); err == nil {
+		t.Fatal("out-of-range delta accepted")
+	}
+}
+
+func TestStoreRollbackCommand(t *testing.T) {
+	dir := t.TempDir()
+	versions := makeVersions(t, 3)
+	storePath := filepath.Join(dir, "s.ipst")
+	basePath := writeTemp(t, dir, "v0.img", versions[0])
+	if err := run([]string{"init", "-store", storePath, "-base", basePath}); err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < len(versions); k++ {
+		p := writeTemp(t, dir, "v.img", versions[k])
+		if err := run([]string{"append", "-store", storePath, "-version", p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rbPath := filepath.Join(dir, "rb.ipd")
+	if err := run([]string{"rollback", "-store", storePath, "-to", "0", "-out", rbPath}); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(rbPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("rollback delta missing: %v", err)
+	}
+	if err := run([]string{"rollback", "-store", storePath, "-to", "9", "-out", rbPath}); err == nil {
+		t.Fatal("out-of-range rollback accepted")
+	}
+	if err := run([]string{"rollback"}); err == nil {
+		t.Fatal("missing flags accepted")
+	}
+}

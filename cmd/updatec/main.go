@@ -1,0 +1,90 @@
+// Command updatec simulates a limited network device updating its image
+// from an updated server: the image file is loaded into a simulated flash
+// part, the in-place delta is streamed and applied with a bounded working
+// buffer, and the updated image is written back.
+//
+// Usage:
+//
+//	updatec -server 127.0.0.1:7070 -image device.img [-capacity N] [-rate BPS]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"ipdelta/internal/device"
+	"ipdelta/internal/netupdate"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "updatec:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("updatec", flag.ContinueOnError)
+	server := fs.String("server", "127.0.0.1:7070", "update server address")
+	imagePath := fs.String("image", "", "installed image file (updated in place on success)")
+	capacity := fs.Int64("capacity", 0, "flash capacity in bytes (default: 2x image size)")
+	rate := fs.Int64("rate", 0, "simulated link rate in bits/second (0 = unthrottled)")
+	workBuf := fs.Int("workbuf", device.DefaultWorkBufSize, "device working buffer size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *imagePath == "" {
+		return errors.New("updatec: -image is required")
+	}
+	f, err := os.OpenFile(*imagePath, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	imageLen := fi.Size()
+	capBytes := *capacity
+	if capBytes == 0 {
+		capBytes = imageLen * 2
+	}
+	// Patch the image file directly, in place, through the bounded-memory
+	// device engine — no second copy of the image is ever made.
+	store, err := device.NewFileStore(f, capBytes)
+	if err != nil {
+		return err
+	}
+	dev := device.New(store, imageLen, *workBuf)
+
+	var conn net.Conn
+	conn, err = net.Dial("tcp", *server)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if *rate > 0 {
+		conn = netupdate.NewThrottledConn(conn, *rate)
+	}
+	res, err := netupdate.UpdateDevice(conn, dev)
+	if err != nil {
+		return err
+	}
+	if res.UpToDate {
+		fmt.Println("updatec: already up to date")
+		return nil
+	}
+	if err := store.Truncate(dev.ImageLen()); err != nil {
+		return err
+	}
+	if err := store.Sync(); err != nil {
+		return err
+	}
+	fmt.Printf("updatec: updated %s in place via %d delta bytes (image now %d bytes)\n",
+		*imagePath, res.DeltaBytes, dev.ImageLen())
+	return nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ipdelta/internal/netupdate"
+)
+
+func TestUpdatecAgainstServer(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	v1 := make([]byte, 16<<10)
+	rng.Read(v1)
+	v2 := append([]byte(nil), v1...)
+	copy(v2[1024:2048], v1[8192:9216])
+
+	srv, err := netupdate.NewServer([][]byte{v1, v2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go srv.Serve(l) //nolint:errcheck
+
+	dir := t.TempDir()
+	imagePath := filepath.Join(dir, "device.img")
+	if err := os.WriteFile(imagePath, v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-server", l.Addr().String(), "-image", imagePath}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(imagePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, v2) {
+		t.Fatal("device image not updated to v2")
+	}
+
+	// Second run: already up to date.
+	if err := run([]string{"-server", l.Addr().String(), "-image", imagePath}); err != nil {
+		t.Fatal(err)
+	}
+	// Throttled run from v1 again.
+	if err := os.WriteFile(imagePath, v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-server", l.Addr().String(), "-image", imagePath, "-rate", "2000000"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdatecUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-image", "missing.img"},
+		{"-server", "127.0.0.1:1", "-image", "missing.img"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

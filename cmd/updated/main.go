@@ -1,0 +1,62 @@
+// Command updated is the software-update server: it serves the newest of a
+// set of image files as in-place reconstructible deltas to updatec clients.
+//
+// Usage:
+//
+//	updated -listen 127.0.0.1:7070 v1.img v2.img v3.img
+//
+// Images are the release history, oldest first; devices running any of them
+// are upgraded to the last one.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"ipdelta/internal/netupdate"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "updated:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("updated", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7070", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		return errors.New("usage: updated [-listen ADDR] OLDEST.img ... NEWEST.img")
+	}
+	history := make([][]byte, 0, len(paths))
+	for _, p := range paths {
+		img, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		history = append(history, img)
+	}
+	srv, err := netupdate.NewServer(history)
+	if err != nil {
+		return err
+	}
+	// Build every per-release delta before accepting connections.
+	if err := srv.Prewarm(0); err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("updated: serving %d releases on %s (current: %s, %d bytes)\n",
+		len(history), l.Addr(), paths[len(paths)-1], len(srv.Current()))
+	return srv.Serve(l)
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestUpdatedUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"missing1.img", "missing2.img"},
+		{"-listen", "notanaddress:::", "missing.img"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestUpdatedRejectsBadListen(t *testing.T) {
+	dir := t.TempDir()
+	img := filepath.Join(dir, "v1.img")
+	if err := os.WriteFile(img, []byte("image-contents"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-listen", "256.256.256.256:99999", img}); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package ipdelta_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"ipdelta"
+)
+
+// Example demonstrates the core loop: diff, convert for in-place
+// reconstruction, and rebuild the new version in the old version's buffer.
+func Example() {
+	oldVersion := []byte("the quick brown fox jumps over the lazy dog")
+	newVersion := []byte("the lazy dog jumps over the quick brown fox")
+
+	ip, _, err := ipdelta.DiffInPlace(oldVersion, newVersion)
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, ip.InPlaceBufLen())
+	copy(buf, oldVersion)
+	if err := ipdelta.PatchInPlace(buf, ip); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(buf[:ip.VersionLen]))
+	// Output: the lazy dog jumps over the quick brown fox
+}
+
+// ExampleAnalyze shows inspecting a delta's conflict structure without a
+// reference file: a half-swap has one 2-cycle and needs one conversion.
+func ExampleAnalyze() {
+	d := &ipdelta.Delta{
+		RefLen:     8,
+		VersionLen: 8,
+		Commands: []ipdelta.Command{
+			ipdelta.NewCopy(4, 0, 4),
+			ipdelta.NewCopy(0, 4, 4),
+		},
+	}
+	a, err := ipdelta.Analyze(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cyclic components: %d, reorder sufficient: %v, min conversion: %dB\n",
+		a.CyclicComponents, a.ReorderSufficient, a.MinConversionBytes)
+	// Output: cyclic components: 1, reorder sufficient: false, min conversion: 4B
+}
+
+// ExampleCompose chains two deltas into one without materializing the
+// middle version.
+func ExampleCompose() {
+	v1 := []byte("alpha beta gamma")
+	v2 := []byte("alpha BETA gamma")
+	v3 := []byte("alpha BETA gamma delta")
+
+	d12, _ := ipdelta.Diff(v1, v2)
+	d23, _ := ipdelta.Diff(v2, v3)
+	d13, err := ipdelta.Compose(d12, d23)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, _ := ipdelta.Patch(v1, d13)
+	fmt.Println(string(out))
+	// Output: alpha BETA gamma delta
+}
+
+// ExampleEncode round-trips a delta through the compact wire format.
+func ExampleEncode() {
+	oldVersion := bytes.Repeat([]byte("ab"), 64)
+	newVersion := append([]byte("prefix-"), oldVersion...)
+
+	ip, _, err := ipdelta.DiffInPlace(oldVersion, newVersion)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var wire bytes.Buffer
+	if _, err := ipdelta.Encode(&wire, ip, ipdelta.FormatCompact); err != nil {
+		log.Fatal(err)
+	}
+	decoded, format, err := ipdelta.Decode(&wire)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, _ := ipdelta.Patch(oldVersion, decoded)
+	fmt.Println(format, bytes.Equal(out, newVersion))
+	// Output: compact true
+}

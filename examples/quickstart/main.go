@@ -1,0 +1,71 @@
+// Quickstart: compute a delta between two versions of a file, convert it
+// for in-place reconstruction, and rebuild the new version in the buffer
+// holding the old one — the core loop of the library in ~60 lines.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"ipdelta"
+)
+
+func main() {
+	oldVersion := []byte(
+		"config_version=1\n" +
+			"server=updates.example.com\n" +
+			"retry_limit=3\n" +
+			"features=alpha,beta\n" +
+			"checksum_mode=crc32\n")
+	newVersion := []byte(
+		"config_version=2\n" +
+			"features=alpha,beta,gamma\n" +
+			"server=updates.example.com\n" +
+			"retry_limit=5\n" +
+			"checksum_mode=crc32\n")
+
+	// 1. Compute a delta: copies reuse old bytes, adds carry new ones.
+	d, err := ipdelta.Diff(oldVersion, newVersion)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delta: %d commands (%d copies, %d adds, %d literal bytes)\n",
+		len(d.Commands), d.NumCopies(), d.NumAdds(), d.AddedBytes())
+
+	// As computed, the delta may read regions it has already overwritten
+	// when applied in place — that's the problem the paper solves.
+	if err := d.CheckInPlace(); err != nil {
+		fmt.Println("raw delta is NOT in-place safe:", err)
+	} else {
+		fmt.Println("raw delta happens to be in-place safe")
+	}
+
+	// 2. Convert: permute copies by topological order of the conflict
+	// digraph, break cycles by turning copies into adds.
+	ip, st, err := ipdelta.ConvertInPlace(d, oldVersion)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converted: %d conflict edges, %d cycles broken, %d copies re-encoded as adds\n",
+		st.Edges, st.CyclesBroken, st.ConvertedCopies)
+
+	// 3. Apply in place: one buffer, no scratch space.
+	buf := make([]byte, ip.InPlaceBufLen())
+	copy(buf, oldVersion)
+	if err := ipdelta.PatchInPlace(buf, ip); err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(buf[:ip.VersionLen], newVersion) {
+		log.Fatal("reconstruction mismatch")
+	}
+	fmt.Println("in-place reconstruction: OK")
+
+	// 4. The wire: encode compactly, decode anywhere.
+	var wire bytes.Buffer
+	n, err := ipdelta.Encode(&wire, ip, ipdelta.FormatCompact)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("encoded delta: %d bytes (new version is %d bytes)\n", n, len(newVersion))
+}

@@ -1,0 +1,84 @@
+// Rollback: a release turns out to be bad, and the fleet must return to
+// the previous version — in place, without the server having stored any
+// backward deltas. The store inverts its forward chain (delta inversion),
+// converts the result for in-place reconstruction, and the device applies
+// it in the space the bad version occupies.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"ipdelta/internal/codec"
+	"ipdelta/internal/corpus"
+	"ipdelta/internal/device"
+	"ipdelta/internal/graph"
+	"ipdelta/internal/stats"
+	"ipdelta/internal/store"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Release history: v0, v1 (good), v2 (the bad release).
+	base := corpus.Generate(corpus.PairSpec{Profile: corpus.Firmware, Size: 96 << 10, ChangeRate: 0, Seed: 13})
+	s := store.New(base.Ref)
+	cur := base.Ref
+	for k := 1; k <= 2; k++ {
+		gen := corpus.Generate(corpus.PairSpec{Profile: corpus.Firmware, Size: len(cur), ChangeRate: 0.06, Seed: 13 + int64(k)})
+		v := append([]byte(nil), cur...)
+		splice := len(v) / 8
+		copy(v[k*2*splice:k*2*splice+splice], gen.Version[:splice])
+		if _, err := s.AppendVersion(v); err != nil {
+			return err
+		}
+		cur = v
+	}
+	v1, err := s.Version(1)
+	if err != nil {
+		return err
+	}
+	v2, err := s.Version(2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fleet is on v2 (%s); v2 is bad — rolling back to v1\n", stats.Bytes(int64(len(v2))))
+
+	// The server computes one in-place rollback delta v2 → v1.
+	rb, st, err := s.RollbackDelta(1, graph.LocallyMinimum{})
+	if err != nil {
+		return err
+	}
+	var wire bytes.Buffer
+	if _, err := codec.Encode(&wire, rb, codec.FormatCompact); err != nil {
+		return err
+	}
+	wireBytes := int64(wire.Len()) // Apply drains the buffer below
+	fmt.Printf("rollback delta: %s (%d copies, %d conversions for in-place safety)\n",
+		stats.Bytes(wireBytes), rb.NumCopies(), st.ConvertedCopies)
+
+	// A device running the bad v2 applies it in place.
+	capacity := int64(len(v2))
+	if int64(len(v1)) > capacity {
+		capacity = int64(len(v1))
+	}
+	flash, err := device.NewFlash(v2, capacity)
+	if err != nil {
+		return err
+	}
+	dev := device.New(flash, int64(len(v2)), 2048)
+	if err := dev.Apply(&wire); err != nil {
+		return err
+	}
+	if !bytes.Equal(dev.Image(), v1) {
+		return fmt.Errorf("device did not return to v1")
+	}
+	fmt.Printf("device back on v1 (%s) — delta was %.1f%% of a full downgrade image\n",
+		stats.Bytes(dev.ImageLen()), 100*float64(wireBytes)/float64(len(v1)))
+	return nil
+}

@@ -1,0 +1,3 @@
+module ipdelta
+
+go 1.22

@@ -1,0 +1,105 @@
+package codec
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"ipdelta/internal/delta"
+)
+
+// FuzzDecode feeds arbitrary bytes to the decoder: it must never panic,
+// never allocate absurdly, and anything it accepts must re-encode to a
+// decodable delta with identical commands.
+func FuzzDecode(f *testing.F) {
+	// Seed with valid encodings of every format.
+	d := &delta.Delta{
+		RefLen:     64,
+		VersionLen: 80,
+		Commands: []delta.Command{
+			delta.NewCopy(0, 0, 40),
+			delta.NewAdd(40, bytes.Repeat([]byte("z"), 8)),
+			delta.NewCopy(8, 48, 32),
+		},
+	}
+	for _, format := range allFormats {
+		var buf bytes.Buffer
+		if _, err := Encode(&buf, d, format); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	// A scratch-format seed with stash/unstash commands.
+	sd := &delta.Delta{
+		RefLen:     16,
+		VersionLen: 16,
+		Commands: []delta.Command{
+			delta.NewStash(0, 8),
+			delta.NewCopy(8, 0, 8),
+			delta.NewUnstash(8, 8),
+		},
+	}
+	var sbuf bytes.Buffer
+	if _, err := Encode(&sbuf, sd, FormatScratch); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sbuf.Bytes())
+	f.Add([]byte("IPD\x01garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, format, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted input: the delta must re-encode and decode to the same
+		// commands (when it validates; decoding does not enforce command
+		// semantics like coverage).
+		if got.Validate() != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := Encode(&buf, got, format); err != nil {
+			t.Fatalf("re-encode of accepted delta failed: %v", err)
+		}
+		again, f2, err := Decode(&buf)
+		if err != nil || f2 != format {
+			t.Fatalf("re-decode failed: %v %v", f2, err)
+		}
+		if len(again.Commands) < len(got.Commands) {
+			// Legacy formats may split adds, never merge them.
+			t.Fatalf("command count shrank: %d -> %d", len(got.Commands), len(again.Commands))
+		}
+	})
+}
+
+// FuzzDecoderStreaming checks the streaming decoder path on arbitrary
+// input.
+func FuzzDecoderStreaming(f *testing.F) {
+	var buf bytes.Buffer
+	d := &delta.Delta{RefLen: 8, VersionLen: 10, Commands: []delta.Command{
+		delta.NewCopy(0, 0, 8),
+		delta.NewAdd(8, []byte("hi")),
+	}}
+	if _, err := Encode(&buf, d, FormatOffsets); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := NewDecoder(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for {
+			_, payload, err := dec.NextStreaming()
+			if err != nil {
+				return
+			}
+			if payload != nil {
+				if _, err := io.Copy(io.Discard, payload); err != nil {
+					return
+				}
+			}
+		}
+	})
+}

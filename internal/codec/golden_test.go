@@ -1,0 +1,41 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+
+	"ipdelta/internal/delta"
+)
+
+// TestGoldenWireFormat pins the exact bytes of each format for a small
+// fixed delta. Any change to these bytes is a wire-format break: bump the
+// magic version instead of editing the expectations.
+func TestGoldenWireFormat(t *testing.T) {
+	d := &delta.Delta{
+		RefLen:     16,
+		VersionLen: 12,
+		Commands: []delta.Command{
+			delta.NewCopy(4, 0, 8),
+			delta.NewAdd(8, []byte("WXYZ")),
+		},
+	}
+	want := map[Format]string{
+		FormatOrdered:       "4950440101100c0201040802045758595af38b14ea",
+		FormatOffsets:       "4950440102100c02010400080208045758595aa480aabe",
+		FormatLegacyOrdered: "4950440103100c02c1000408a1045758595a6a9c1af0",
+		FormatLegacyOffsets: "4950440104100c02c10000000000000000000408a1" +
+			"0000000000000008045758595adbad7a4b",
+		FormatCompact: "4950440105100c02010008080110045758595a53df3dad",
+	}
+	for format, wantHex := range want {
+		var buf bytes.Buffer
+		if _, err := Encode(&buf, d, format); err != nil {
+			t.Fatalf("%v: %v", format, err)
+		}
+		got := hex.EncodeToString(buf.Bytes())
+		if got != wantHex {
+			t.Errorf("%v wire bytes changed:\n got  %s\n want %s", format, got, wantHex)
+		}
+	}
+}

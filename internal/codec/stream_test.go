@@ -1,0 +1,126 @@
+package codec
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"ipdelta/internal/delta"
+)
+
+func TestNextStreaming(t *testing.T) {
+	d := orderedDelta()
+	for _, f := range allFormats {
+		t.Run(f.String(), func(t *testing.T) {
+			var buf bytes.Buffer
+			if _, err := Encode(&buf, d, f); err != nil {
+				t.Fatal(err)
+			}
+			dec, err := NewDecoder(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var n, addBytes int
+			for {
+				c, payload, err := dec.NextStreaming()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				n++
+				if c.Op == delta.OpAdd {
+					if c.Data != nil {
+						t.Fatal("streaming add carried materialized data")
+					}
+					if payload == nil {
+						t.Fatal("no payload reader for add")
+					}
+					got, err := io.ReadAll(payload)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if int64(len(got)) != c.Length {
+						t.Fatalf("payload %d bytes, want %d", len(got), c.Length)
+					}
+					addBytes += len(got)
+				} else if payload != nil {
+					t.Fatal("copy command got a payload reader")
+				}
+			}
+			if n == 0 || addBytes != 20 {
+				t.Fatalf("streamed %d commands, %d add bytes", n, addBytes)
+			}
+		})
+	}
+}
+
+func TestNextStreamingUnconsumedPayload(t *testing.T) {
+	d := orderedDelta()
+	var buf bytes.Buffer
+	if _, err := Encode(&buf, d, FormatOffsets); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		c, _, err := dec.NextStreaming()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Op == delta.OpAdd {
+			break // leave the payload unread
+		}
+	}
+	if _, _, err := dec.NextStreaming(); err == nil {
+		t.Fatal("decoder accepted Next with unconsumed payload")
+	}
+	if _, err := dec.Next(); err == nil {
+		t.Fatal("Next accepted unconsumed payload")
+	}
+}
+
+func TestPayloadReaderPartialReads(t *testing.T) {
+	d := orderedDelta()
+	var buf bytes.Buffer
+	if _, err := Encode(&buf, d, FormatOffsets); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		c, payload, err := dec.NextStreaming()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Op != delta.OpAdd {
+			continue
+		}
+		// Drain one byte at a time.
+		one := make([]byte, 1)
+		var got []byte
+		for {
+			n, err := payload.Read(one)
+			if n > 0 {
+				got = append(got, one[0])
+			}
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if int64(len(got)) != c.Length {
+			t.Fatalf("drained %d bytes, want %d", len(got), c.Length)
+		}
+	}
+}

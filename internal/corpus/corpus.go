@@ -1,0 +1,383 @@
+// Package corpus generates synthetic version pairs that stand in for the
+// paper's experimental corpus of Internet-distributed software (multiple
+// versions of the GNU tools and BSD distributions, both source and binary).
+// That 1998 snapshot is not reproducible, so this package fabricates files
+// with the same structural properties the experiments depend on:
+//
+//   - Text: token- and line-structured content resembling source code.
+//   - Binary: sectioned executables — instruction-like streams with
+//     recurring motifs, repetitive data tables, and a string table.
+//   - Firmware: binary content interleaved with large erased-flash
+//     (0xFF) padding regions.
+//   - Database: fixed-size keyed records with record-aligned edits, in
+//     the spirit of differential files for databases (related work [13]).
+//
+// Version files are derived from references through an edit model with
+// point edits, insertions, deletions, block moves, block duplications and —
+// for binary profiles — a pointer rebase that perturbs many aligned words
+// at once, the way relinking scatters small changes through an executable.
+// Block moves matter most here: they are what produce write-before-read
+// conflicts and cycles for the in-place converter.
+//
+// All output is deterministic in the seed.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Profile selects the content model of a generated file.
+type Profile int
+
+const (
+	// Text resembles source code or configuration text.
+	Text Profile = iota + 1
+	// Binary resembles a compiled executable.
+	Binary
+	// Firmware resembles a device image with erased-flash padding.
+	Firmware
+	// Database resembles a record-structured data file whose edits are
+	// record-aligned, in the spirit of differential files for databases
+	// (the paper's related work [13]).
+	Database
+)
+
+// String returns the profile name.
+func (p Profile) String() string {
+	switch p {
+	case Text:
+		return "text"
+	case Binary:
+		return "binary"
+	case Firmware:
+		return "firmware"
+	case Database:
+		return "database"
+	default:
+		return fmt.Sprintf("profile(%d)", int(p))
+	}
+}
+
+// PairSpec describes one version pair to generate.
+type PairSpec struct {
+	// Profile selects the content model.
+	Profile Profile
+	// Size is the approximate reference file size in bytes.
+	Size int
+	// ChangeRate is the approximate fraction of the file affected by the
+	// version edits, in [0, 1].
+	ChangeRate float64
+	// Seed makes the pair deterministic.
+	Seed int64
+}
+
+// Pair is a generated (reference, version) file pair.
+type Pair struct {
+	Name    string
+	Spec    PairSpec
+	Ref     []byte
+	Version []byte
+}
+
+// Generate produces the pair described by spec.
+func Generate(spec PairSpec) Pair {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	var ref []byte
+	switch spec.Profile {
+	case Binary:
+		ref = genBinary(rng, spec.Size)
+	case Firmware:
+		ref = genFirmware(rng, spec.Size)
+	case Database:
+		ref = genDatabase(rng, spec.Size)
+	default:
+		ref = genText(rng, spec.Size)
+	}
+	version := mutate(rng, ref, spec)
+	return Pair{
+		Name:    fmt.Sprintf("%s-%dKiB-%.0f%%-s%d", spec.Profile, spec.Size/1024, spec.ChangeRate*100, spec.Seed),
+		Spec:    spec,
+		Ref:     ref,
+		Version: version,
+	}
+}
+
+// words is a small dictionary for text-like content.
+var words = []string{
+	"func", "return", "if", "else", "for", "range", "var", "const", "type",
+	"struct", "interface", "error", "string", "int64", "byte", "buffer",
+	"offset", "length", "copy", "append", "delta", "version", "reference",
+	"packet", "device", "update", "flash", "network", "client", "server",
+	"config", "install", "module", "kernel", "driver", "header", "table",
+}
+
+// genText produces line-structured token text of roughly size bytes.
+func genText(rng *rand.Rand, size int) []byte {
+	out := make([]byte, 0, size+64)
+	indent := 0
+	for len(out) < size {
+		for k := 0; k < indent; k++ {
+			out = append(out, '\t')
+		}
+		line := rng.Intn(8) + 2
+		for k := 0; k < line; k++ {
+			if k > 0 {
+				out = append(out, ' ')
+			}
+			out = append(out, words[rng.Intn(len(words))]...)
+		}
+		switch rng.Intn(6) {
+		case 0:
+			out = append(out, " {"...)
+			indent++
+		case 1:
+			if indent > 0 {
+				indent--
+			}
+			out = append(out, '}')
+		}
+		out = append(out, '\n')
+	}
+	return out[:size]
+}
+
+// genBinary produces a sectioned executable-like image.
+func genBinary(rng *rand.Rand, size int) []byte {
+	out := make([]byte, 0, size+256)
+	// "Code" section: recurring 4-byte opcode motifs with varying operands.
+	motifs := make([][]byte, 16)
+	for k := range motifs {
+		m := make([]byte, 4)
+		rng.Read(m)
+		motifs[k] = m
+	}
+	codeLen := size * 6 / 10
+	for len(out) < codeLen {
+		out = append(out, motifs[rng.Intn(len(motifs))]...)
+		// Operand word, frequently a small value or an address-like value.
+		var op [4]byte
+		switch rng.Intn(3) {
+		case 0:
+			op[3] = byte(rng.Intn(64))
+		case 1:
+			addr := 0x400000 + rng.Intn(size)
+			op[0], op[1], op[2], op[3] = byte(addr>>24), byte(addr>>16), byte(addr>>8), byte(addr)
+		default:
+			rng.Read(op[:])
+		}
+		out = append(out, op[:]...)
+	}
+	// Data tables: runs of repetitive records.
+	dataLen := size * 25 / 100
+	record := make([]byte, 16)
+	rng.Read(record)
+	for len(out) < codeLen+dataLen {
+		out = append(out, record...)
+		record[rng.Intn(len(record))]++
+	}
+	// String table.
+	for len(out) < size {
+		out = append(out, words[rng.Intn(len(words))]...)
+		out = append(out, 0)
+	}
+	return out[:size]
+}
+
+// genFirmware produces binary content with erased-flash padding blocks.
+func genFirmware(rng *rand.Rand, size int) []byte {
+	out := genBinary(rng, size)
+	// Erase random aligned 1KiB blocks to 0xFF, about a quarter of them.
+	const block = 1024
+	for at := 0; at+block <= len(out); at += block {
+		if rng.Intn(4) == 0 {
+			for k := at; k < at+block; k++ {
+				out[k] = 0xFF
+			}
+		}
+	}
+	return out
+}
+
+// dbRecordSize is the fixed record length of the database profile.
+const dbRecordSize = 128
+
+// genDatabase produces fixed-size records: an ascending 8-byte key, a few
+// typed fields, and text payload — repetitive structure with unique keys.
+func genDatabase(rng *rand.Rand, size int) []byte {
+	out := make([]byte, 0, size+dbRecordSize)
+	key := rng.Int63n(1 << 30)
+	for len(out) < size {
+		rec := make([]byte, dbRecordSize)
+		for k := 0; k < 8; k++ {
+			rec[k] = byte(key >> (56 - 8*k))
+		}
+		key += rng.Int63n(16) + 1
+		// Typed fields: flags, a timestamp-like counter, small ints.
+		rec[8] = byte(rng.Intn(4))
+		for k := 9; k < 24; k++ {
+			rec[k] = byte(rng.Intn(100))
+		}
+		// Text payload from the dictionary, null-padded.
+		at := 24
+		for at < dbRecordSize-12 {
+			w := words[rng.Intn(len(words))]
+			copy(rec[at:], w)
+			at += len(w) + 1
+		}
+		out = append(out, rec...)
+	}
+	return out[:size/dbRecordSize*dbRecordSize]
+}
+
+// mutateDatabase applies record-aligned edits: replace, insert and delete
+// whole records.
+func mutateDatabase(rng *rand.Rand, ref []byte, spec PairSpec) []byte {
+	out := append([]byte(nil), ref...)
+	records := len(out) / dbRecordSize
+	budget := int(float64(records) * spec.ChangeRate)
+	for k := 0; k < budget && len(out) >= dbRecordSize; k++ {
+		r := rng.Intn(len(out) / dbRecordSize)
+		at := r * dbRecordSize
+		switch rng.Intn(3) {
+		case 0: // update fields in place, key preserved
+			for f := 0; f < 8; f++ {
+				out[at+9+rng.Intn(dbRecordSize-9-1)] = byte(rng.Intn(256))
+			}
+		case 1: // insert a fresh record
+			rec := genDatabase(rng, dbRecordSize)
+			out = append(out[:at], append(rec, out[at:]...)...)
+		default: // delete the record
+			out = append(out[:at], out[at+dbRecordSize:]...)
+		}
+	}
+	return out
+}
+
+// mutate derives the version from ref per the spec's change rate.
+func mutate(rng *rand.Rand, ref []byte, spec PairSpec) []byte {
+	if spec.Profile == Database {
+		return mutateDatabase(rng, ref, spec)
+	}
+	out := append([]byte(nil), ref...)
+	budget := int(float64(len(ref)) * spec.ChangeRate)
+	if budget <= 0 {
+		return out
+	}
+	for budget > 0 && len(out) > 16 {
+		n := rng.Intn(budget/4+16) + 1
+		if n > budget {
+			n = budget
+		}
+		switch op := rng.Intn(10); {
+		case op < 3: // point/region edits
+			at := rng.Intn(len(out))
+			end := at + n
+			if end > len(out) {
+				end = len(out)
+			}
+			fill(rng, out[at:end], spec.Profile)
+		case op < 5: // insertion
+			at := rng.Intn(len(out))
+			ins := make([]byte, n)
+			fill(rng, ins, spec.Profile)
+			out = append(out[:at], append(ins, out[at:]...)...)
+		case op < 7: // deletion
+			at := rng.Intn(len(out))
+			end := at + n
+			if end > len(out) {
+				end = len(out)
+			}
+			out = append(out[:at], out[end:]...)
+		case op < 9: // block move (the WR-conflict generator)
+			if len(out) < 2*n+2 {
+				continue
+			}
+			src := rng.Intn(len(out) - n)
+			blk := append([]byte(nil), out[src:src+n]...)
+			out = append(out[:src], out[src+n:]...)
+			dst := rng.Intn(len(out))
+			out = append(out[:dst], append(blk, out[dst:]...)...)
+		default: // block duplication
+			if len(out) < n+1 {
+				continue
+			}
+			src := rng.Intn(len(out) - n)
+			blk := append([]byte(nil), out[src:src+n]...)
+			dst := rng.Intn(len(out))
+			out = append(out[:dst], append(blk, out[dst:]...)...)
+		}
+		budget -= n
+	}
+	if spec.Profile == Binary || spec.Profile == Firmware {
+		rebasePointers(rng, out)
+	}
+	return out
+}
+
+// fill writes profile-appropriate content.
+func fill(rng *rand.Rand, b []byte, p Profile) {
+	switch p {
+	case Text:
+		for k := range b {
+			w := words[rng.Intn(len(words))]
+			b[k] = w[rng.Intn(len(w))]
+			if rng.Intn(8) == 0 {
+				b[k] = ' '
+			}
+		}
+	default:
+		rng.Read(b)
+	}
+}
+
+// rebasePointers adds a constant to a sample of aligned 32-bit words whose
+// value looks like an address, mimicking the scattered small differences a
+// relink produces.
+func rebasePointers(rng *rand.Rand, b []byte) {
+	if len(b) < 8 {
+		return
+	}
+	shift := uint32(rng.Intn(0x1000) + 4)
+	for at := 0; at+4 <= len(b); at += 4 * (rng.Intn(64) + 1) {
+		v := uint32(b[at])<<24 | uint32(b[at+1])<<16 | uint32(b[at+2])<<8 | uint32(b[at+3])
+		if v>>20 == 0x004 { // looks like our 0x400000-based addresses
+			v += shift
+			b[at], b[at+1], b[at+2], b[at+3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+		}
+	}
+}
+
+// StandardCorpus returns the suite of version pairs used by the Table 1 and
+// timing experiments: every profile crossed with several sizes and change
+// rates. The seed perturbs content, not the grid.
+func StandardCorpus(seed int64) []Pair {
+	profiles := []Profile{Text, Binary, Firmware, Database}
+	sizes := []int{16 << 10, 64 << 10, 256 << 10}
+	rates := []float64{0.01, 0.05, 0.15, 0.30}
+	pairs := make([]Pair, 0, len(profiles)*len(sizes)*len(rates))
+	k := int64(0)
+	for _, p := range profiles {
+		for _, s := range sizes {
+			for _, r := range rates {
+				pairs = append(pairs, Generate(PairSpec{
+					Profile:    p,
+					Size:       s,
+					ChangeRate: r,
+					Seed:       seed + k,
+				}))
+				k++
+			}
+		}
+	}
+	return pairs
+}
+
+// SmallCorpus is a reduced suite for unit tests and quick benchmarks.
+func SmallCorpus(seed int64) []Pair {
+	return []Pair{
+		Generate(PairSpec{Profile: Text, Size: 16 << 10, ChangeRate: 0.05, Seed: seed}),
+		Generate(PairSpec{Profile: Binary, Size: 16 << 10, ChangeRate: 0.05, Seed: seed + 1}),
+		Generate(PairSpec{Profile: Firmware, Size: 16 << 10, ChangeRate: 0.05, Seed: seed + 2}),
+	}
+}

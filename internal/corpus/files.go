@@ -1,0 +1,111 @@
+package corpus
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// FromFiles loads real version pairs from a directory, so the experiment
+// harness can run the paper's evaluation on user-supplied software instead
+// of the synthetic corpus. Two layouts are accepted:
+//
+//   - flat pairs: files named <name>.old and <name>.new form one pair;
+//   - version chains: files named <name>.v<k> (k = 0,1,2,…) form a pair
+//     per consecutive version.
+//
+// Pairs are returned sorted by name for determinism.
+func FromFiles(dir string) ([]Pair, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	oldFiles := map[string]string{}
+	newFiles := map[string]string{}
+	chains := map[string]map[int]string{}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		path := filepath.Join(dir, name)
+		switch {
+		case strings.HasSuffix(name, ".old"):
+			oldFiles[strings.TrimSuffix(name, ".old")] = path
+		case strings.HasSuffix(name, ".new"):
+			newFiles[strings.TrimSuffix(name, ".new")] = path
+		default:
+			base, ver, ok := splitVersionSuffix(name)
+			if !ok {
+				continue
+			}
+			if chains[base] == nil {
+				chains[base] = map[int]string{}
+			}
+			chains[base][ver] = path
+		}
+	}
+
+	var pairs []Pair
+	appendPair := func(name, refPath, versionPath string) error {
+		ref, err := os.ReadFile(refPath)
+		if err != nil {
+			return err
+		}
+		version, err := os.ReadFile(versionPath)
+		if err != nil {
+			return err
+		}
+		pairs = append(pairs, Pair{Name: name, Ref: ref, Version: version})
+		return nil
+	}
+	for base, refPath := range oldFiles {
+		versionPath, ok := newFiles[base]
+		if !ok {
+			return nil, fmt.Errorf("corpus: %s.old has no matching %s.new", base, base)
+		}
+		if err := appendPair(base, refPath, versionPath); err != nil {
+			return nil, err
+		}
+	}
+	for base, versions := range chains {
+		var ks []int
+		for k := range versions {
+			ks = append(ks, k)
+		}
+		sort.Ints(ks)
+		for i := 1; i < len(ks); i++ {
+			name := fmt.Sprintf("%s.v%d-v%d", base, ks[i-1], ks[i])
+			if err := appendPair(name, versions[ks[i-1]], versions[ks[i]]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("corpus: no version pairs found in %s (expect *.old/*.new or *.v<N> files)", dir)
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Name < pairs[j].Name })
+	return pairs, nil
+}
+
+// splitVersionSuffix parses "<base>.v<k>" names.
+func splitVersionSuffix(name string) (base string, ver int, ok bool) {
+	dot := strings.LastIndex(name, ".v")
+	if dot < 0 {
+		return "", 0, false
+	}
+	digits := name[dot+2:]
+	if digits == "" {
+		return "", 0, false
+	}
+	v := 0
+	for _, r := range digits {
+		if r < '0' || r > '9' {
+			return "", 0, false
+		}
+		v = v*10 + int(r-'0')
+	}
+	return name[:dot], v, true
+}

@@ -1,0 +1,95 @@
+package corpus
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeCorpusFile(t *testing.T, dir, name string, content []byte) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromFilesFlatPairs(t *testing.T) {
+	dir := t.TempDir()
+	writeCorpusFile(t, dir, "app.old", []byte("old app"))
+	writeCorpusFile(t, dir, "app.new", []byte("new app"))
+	writeCorpusFile(t, dir, "lib.old", []byte("old lib"))
+	writeCorpusFile(t, dir, "lib.new", []byte("new lib"))
+	writeCorpusFile(t, dir, "README", []byte("ignored"))
+
+	pairs, err := FromFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 2 {
+		t.Fatalf("%d pairs", len(pairs))
+	}
+	if pairs[0].Name != "app" || string(pairs[0].Ref) != "old app" || string(pairs[0].Version) != "new app" {
+		t.Fatalf("pair 0: %+v", pairs[0].Name)
+	}
+	if pairs[1].Name != "lib" {
+		t.Fatalf("pair 1: %s", pairs[1].Name)
+	}
+}
+
+func TestFromFilesVersionChain(t *testing.T) {
+	dir := t.TempDir()
+	writeCorpusFile(t, dir, "fw.v0", []byte("version zero"))
+	writeCorpusFile(t, dir, "fw.v1", []byte("version one"))
+	writeCorpusFile(t, dir, "fw.v2", []byte("version two"))
+	writeCorpusFile(t, dir, "fw.v10", []byte("version ten"))
+
+	pairs, err := FromFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 3 {
+		t.Fatalf("%d pairs: %v", len(pairs), pairs)
+	}
+	// Numeric ordering: v0-v1, v1-v2, v2-v10.
+	if pairs[0].Name != "fw.v0-v1" || pairs[2].Name != "fw.v2-v10" {
+		t.Fatalf("names: %s %s %s", pairs[0].Name, pairs[1].Name, pairs[2].Name)
+	}
+	if string(pairs[2].Ref) != "version two" || string(pairs[2].Version) != "version ten" {
+		t.Fatal("chain contents wrong")
+	}
+}
+
+func TestFromFilesErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := FromFiles(dir); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	writeCorpusFile(t, dir, "x.old", []byte("a"))
+	if _, err := FromFiles(dir); err == nil {
+		t.Fatal("orphan .old accepted")
+	}
+	if _, err := FromFiles(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+}
+
+func TestSplitVersionSuffix(t *testing.T) {
+	tests := []struct {
+		in   string
+		base string
+		ver  int
+		ok   bool
+	}{
+		{"fw.v3", "fw", 3, true},
+		{"a.b.v12", "a.b", 12, true},
+		{"fw.v", "", 0, false},
+		{"fw.vx1", "", 0, false},
+		{"plain", "", 0, false},
+	}
+	for _, tt := range tests {
+		base, ver, ok := splitVersionSuffix(tt.in)
+		if ok != tt.ok || base != tt.base || ver != tt.ver {
+			t.Errorf("splitVersionSuffix(%q) = %q, %d, %v", tt.in, base, ver, ok)
+		}
+	}
+}

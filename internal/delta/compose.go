@@ -1,0 +1,144 @@
+package delta
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Compose combines two delta files: given first encoding version B from
+// reference A and second encoding version C from reference B, it returns a
+// delta encoding C directly from A — without materializing B. Update
+// servers use this to serve any old device a single delta composed from a
+// chain of per-release deltas.
+//
+// Each command of second is rewritten through first: an add stays an add;
+// a copy reading [f, f+l) of B is split at the boundaries of first's
+// commands covering that range, each fragment becoming either a copy from
+// A (when first encoded those B bytes as a copy) or an add carrying bytes
+// from first's add data.
+//
+// The result is in the same write order as second (so an in-place-safe
+// second does NOT generally stay safe — run the in-place converter on the
+// composition). Adjacent fragments from the same source are merged.
+func Compose(first, second *Delta) (*Delta, error) {
+	if err := first.Validate(); err != nil {
+		return nil, fmt.Errorf("compose: first: %w", err)
+	}
+	if err := second.Validate(); err != nil {
+		return nil, fmt.Errorf("compose: second: %w", err)
+	}
+	if first.VersionLen != second.RefLen {
+		return nil, fmt.Errorf("compose: first produces %d bytes, second expects %d",
+			first.VersionLen, second.RefLen)
+	}
+
+	// Index first's commands by write interval (they are disjoint and
+	// cover B exactly).
+	cover := make([]Command, len(first.Commands))
+	copy(cover, first.Commands)
+	sort.Slice(cover, func(i, j int) bool { return cover[i].To < cover[j].To })
+
+	out := &Delta{RefLen: first.RefLen, VersionLen: second.VersionLen}
+	var merger commandMerger
+	for _, c := range second.Commands {
+		switch c.Op {
+		case OpAdd:
+			merger.add(c.To, c.Data)
+		case OpCopy:
+			// Walk first's commands across [c.From, c.From+c.Length).
+			remaining := c.Length
+			src := c.From // offset in B
+			dst := c.To   // offset in C
+			// Find the covering command via binary search: the last k with
+			// cover[k].To <= src.
+			k := sort.Search(len(cover), func(k int) bool { return cover[k].To > src }) - 1
+			for remaining > 0 {
+				if k < 0 || k >= len(cover) {
+					return nil, fmt.Errorf("compose: offset %d of intermediate version uncovered", src)
+				}
+				base := cover[k]
+				inOff := src - base.To // offset within base's write
+				if inOff < 0 || inOff >= base.Length {
+					return nil, fmt.Errorf("compose: offset %d of intermediate version uncovered", src)
+				}
+				n := base.Length - inOff
+				if n > remaining {
+					n = remaining
+				}
+				switch base.Op {
+				case OpCopy:
+					merger.copy(base.From+inOff, dst, n)
+				case OpAdd:
+					merger.add(dst, base.Data[inOff:inOff+n])
+				}
+				src += n
+				dst += n
+				remaining -= n
+				k++
+			}
+		default:
+			return nil, fmt.Errorf("compose: %w", ErrBadOp)
+		}
+	}
+	out.Commands = merger.finish()
+	return out, nil
+}
+
+// commandMerger accumulates commands in write order, merging adjacent adds
+// and adjacent collinear copies so compositions do not fragment without
+// bound.
+type commandMerger struct {
+	cmds []Command
+}
+
+func (m *commandMerger) last() *Command {
+	if len(m.cmds) == 0 {
+		return nil
+	}
+	return &m.cmds[len(m.cmds)-1]
+}
+
+func (m *commandMerger) add(to int64, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	if l := m.last(); l != nil && l.Op == OpAdd && l.To+l.Length == to {
+		l.Data = append(l.Data, data...)
+		l.Length = int64(len(l.Data))
+		return
+	}
+	d := make([]byte, len(data))
+	copy(d, data)
+	m.cmds = append(m.cmds, NewAdd(to, d))
+}
+
+func (m *commandMerger) copy(from, to, length int64) {
+	if length <= 0 {
+		return
+	}
+	if l := m.last(); l != nil && l.Op == OpCopy &&
+		l.To+l.Length == to && l.From+l.Length == from {
+		l.Length += length
+		return
+	}
+	m.cmds = append(m.cmds, NewCopy(from, to, length))
+}
+
+func (m *commandMerger) finish() []Command { return m.cmds }
+
+// ComposeChain folds Compose over a sequence of deltas, producing a single
+// delta from the first delta's reference to the last delta's version.
+func ComposeChain(deltas ...*Delta) (*Delta, error) {
+	if len(deltas) == 0 {
+		return nil, fmt.Errorf("compose: empty chain")
+	}
+	acc := deltas[0]
+	for _, d := range deltas[1:] {
+		next, err := Compose(acc, d)
+		if err != nil {
+			return nil, err
+		}
+		acc = next
+	}
+	return acc, nil
+}

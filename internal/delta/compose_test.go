@@ -1,0 +1,272 @@
+package delta
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// diffNaive builds a correct (if crude) delta between two buffers for
+// composition tests: common prefix/suffix as copies, middle as add. It
+// keeps this package free of a dependency on the diff package.
+func diffNaive(ref, version []byte) *Delta {
+	d := &Delta{RefLen: int64(len(ref)), VersionLen: int64(len(version))}
+	p := 0
+	for p < len(ref) && p < len(version) && ref[p] == version[p] {
+		p++
+	}
+	s := 0
+	for s < len(ref)-p && s < len(version)-p && ref[len(ref)-1-s] == version[len(version)-1-s] {
+		s++
+	}
+	if p > 0 {
+		d.Commands = append(d.Commands, NewCopy(0, 0, int64(p)))
+	}
+	if mid := version[p : len(version)-s]; len(mid) > 0 {
+		data := make([]byte, len(mid))
+		copy(data, mid)
+		d.Commands = append(d.Commands, NewAdd(int64(p), data))
+	}
+	if s > 0 {
+		d.Commands = append(d.Commands, NewCopy(int64(len(ref)-s), int64(len(version)-s), int64(s)))
+	}
+	return d
+}
+
+func TestDiffNaiveHelper(t *testing.T) {
+	a := []byte("hello cruel world")
+	b := []byte("hello kind world")
+	d := diffNaive(a, b)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Apply(a)
+	if err != nil || !bytes.Equal(got, b) {
+		t.Fatalf("%q %v", got, err)
+	}
+}
+
+func TestComposeBasic(t *testing.T) {
+	v1 := []byte("the quick brown fox jumps over the lazy dog")
+	v2 := []byte("the quick red fox jumps over the lazy dog")
+	v3 := []byte("the quick red fox vaults over the lazy dog")
+
+	d12 := diffNaive(v1, v2)
+	d23 := diffNaive(v2, v3)
+	d13, err := Compose(d12, d23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d13.Validate(); err != nil {
+		t.Fatalf("composed delta invalid: %v", err)
+	}
+	got, err := d13.Apply(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, v3) {
+		t.Fatalf("composed apply = %q, want %q", got, v3)
+	}
+}
+
+func TestComposeCopyThroughAdd(t *testing.T) {
+	// second copies a region that first encoded as an add: the composition
+	// must carry those bytes as literal data.
+	v1 := []byte("AAAA")
+	d12 := &Delta{ // v2 = "AAAAxyz"
+		RefLen:     4,
+		VersionLen: 7,
+		Commands: []Command{
+			NewCopy(0, 0, 4),
+			NewAdd(4, []byte("xyz")),
+		},
+	}
+	d23 := &Delta{ // v3 = "xyzAAAA": copies cross first's add/copy boundary
+		RefLen:     7,
+		VersionLen: 7,
+		Commands: []Command{
+			NewCopy(4, 0, 3),
+			NewCopy(0, 3, 4),
+		},
+	}
+	d13, err := Compose(d12, d23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d13.Apply(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "xyzAAAA" {
+		t.Fatalf("got %q", got)
+	}
+	// The xyz bytes must have become an add (v1 does not contain them).
+	if d13.AddedBytes() != 3 {
+		t.Fatalf("AddedBytes = %d, want 3", d13.AddedBytes())
+	}
+}
+
+func TestComposeSplitsAcrossBoundaries(t *testing.T) {
+	// A single copy in second spanning three commands of first splits into
+	// three fragments, then merging may recombine collinear ones.
+	v1 := []byte("0123456789")
+	d12 := &Delta{ // v2 = v1 (identity, in three pieces)
+		RefLen:     10,
+		VersionLen: 10,
+		Commands: []Command{
+			NewCopy(0, 0, 3),
+			NewCopy(3, 3, 4),
+			NewCopy(7, 7, 3),
+		},
+	}
+	d23 := &Delta{ // v3 = v2 entirely, single copy
+		RefLen:     10,
+		VersionLen: 10,
+		Commands:   []Command{NewCopy(0, 0, 10)},
+	}
+	d13, err := Compose(d12, d23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The three collinear fragments merge back into one copy.
+	if len(d13.Commands) != 1 || d13.Commands[0].Length != 10 {
+		t.Fatalf("commands = %v", d13.Commands)
+	}
+	got, _ := d13.Apply(v1)
+	if !bytes.Equal(got, v1) {
+		t.Fatal("identity composition broken")
+	}
+}
+
+func TestComposeMergesAdjacentAdds(t *testing.T) {
+	d12 := &Delta{
+		RefLen:     0,
+		VersionLen: 4,
+		Commands:   []Command{NewAdd(0, []byte("ab")), NewAdd(2, []byte("cd"))},
+	}
+	d23 := &Delta{
+		RefLen:     4,
+		VersionLen: 4,
+		Commands:   []Command{NewCopy(0, 0, 4)},
+	}
+	d13, err := Compose(d12, d23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d13.Commands) != 1 || d13.Commands[0].Op != OpAdd || string(d13.Commands[0].Data) != "abcd" {
+		t.Fatalf("commands = %v", d13.Commands)
+	}
+}
+
+func TestComposeRejectsMismatchedLengths(t *testing.T) {
+	d12 := &Delta{RefLen: 0, VersionLen: 2, Commands: []Command{NewAdd(0, []byte("ab"))}}
+	d23 := &Delta{RefLen: 3, VersionLen: 3, Commands: []Command{NewCopy(0, 0, 3)}}
+	if _, err := Compose(d12, d23); err == nil {
+		t.Fatal("mismatched chain accepted")
+	}
+}
+
+func TestComposeRejectsInvalid(t *testing.T) {
+	bad := &Delta{RefLen: 4, VersionLen: 4, Commands: []Command{NewCopy(0, 2, 4)}}
+	ok := &Delta{RefLen: 4, VersionLen: 4, Commands: []Command{NewCopy(0, 0, 4)}}
+	if _, err := Compose(bad, ok); err == nil {
+		t.Fatal("invalid first accepted")
+	}
+	if _, err := Compose(ok, bad); err == nil {
+		t.Fatal("invalid second accepted")
+	}
+}
+
+func TestComposeChain(t *testing.T) {
+	versions := [][]byte{
+		[]byte("version one of the file"),
+		[]byte("version two of the file"),
+		[]byte("version two of the file, extended"),
+		[]byte("final version of the file, extended"),
+	}
+	var chain []*Delta
+	for k := 1; k < len(versions); k++ {
+		chain = append(chain, diffNaive(versions[k-1], versions[k]))
+	}
+	d, err := ComposeChain(chain...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Apply(versions[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, versions[len(versions)-1]) {
+		t.Fatalf("chain apply = %q", got)
+	}
+	if _, err := ComposeChain(); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+	single, err := ComposeChain(chain[0])
+	if err != nil || single != chain[0] {
+		t.Fatal("single-element chain should return it unchanged")
+	}
+}
+
+// randomVersions builds a chain of related random versions.
+func randomVersions(rng *rand.Rand, n int) [][]byte {
+	out := make([][]byte, n)
+	cur := make([]byte, rng.Intn(2000)+100)
+	rng.Read(cur)
+	out[0] = cur
+	for k := 1; k < n; k++ {
+		next := append([]byte(nil), out[k-1]...)
+		// A few random splices.
+		for e := 0; e < rng.Intn(4)+1; e++ {
+			if len(next) < 4 {
+				break
+			}
+			at := rng.Intn(len(next))
+			switch rng.Intn(3) {
+			case 0:
+				ins := make([]byte, rng.Intn(64)+1)
+				rng.Read(ins)
+				next = append(next[:at], append(ins, next[at:]...)...)
+			case 1:
+				end := at + rng.Intn(64) + 1
+				if end > len(next) {
+					end = len(next)
+				}
+				next = append(next[:at], next[end:]...)
+			default:
+				if at < len(next) {
+					next[at] ^= 0x5A
+				}
+			}
+		}
+		out[k] = next
+	}
+	return out
+}
+
+func TestQuickComposeEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vs := randomVersions(rng, 4)
+		var chain []*Delta
+		for k := 1; k < len(vs); k++ {
+			chain = append(chain, diffNaive(vs[k-1], vs[k]))
+		}
+		d, err := ComposeChain(chain...)
+		if err != nil {
+			return false
+		}
+		if d.Validate() != nil {
+			return false
+		}
+		got, err := d.Apply(vs[0])
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, vs[len(vs)-1])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

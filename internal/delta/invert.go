@@ -1,0 +1,92 @@
+package delta
+
+import (
+	"fmt"
+	"sort"
+
+	"ipdelta/internal/interval"
+)
+
+// Invert computes the reverse delta: given d encoding version V from
+// reference R, and R itself, it returns a delta encoding R from V. Version
+// stores use this for RCS-style backward chains (newest version stored
+// whole, history as reverse deltas), and update servers for rollbacks.
+//
+// Construction: every copy ⟨f, t, l⟩ of d copies R[f, f+l) into V[t, t+l),
+// so the inverse can copy V[t, t+l) back into R[f, f+l). Copy read
+// intervals may overlap in R (several copies reading the same reference
+// bytes), so overlapping regions are trimmed first-wins; whatever part of
+// R no copy covers is carried as literal data from R.
+func Invert(d *Delta, ref []byte) (*Delta, error) {
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("invert: %w", err)
+	}
+	if int64(len(ref)) != d.RefLen {
+		return nil, fmt.Errorf("invert: reference length %d, delta expects %d", len(ref), d.RefLen)
+	}
+	inv := &Delta{RefLen: d.VersionLen, VersionLen: d.RefLen}
+
+	// Collect inverse copies: writes into R-space, trimmed to disjointness.
+	type span struct{ from, to, length int64 } // from in V-space, to in R-space
+	var spans []span
+	covered := interval.NewSet()
+	// Deterministic processing order: by R offset, longest first, so the
+	// largest copies win the overlap trims.
+	copies := make([]Command, 0, len(d.Commands))
+	for _, c := range d.Commands {
+		if c.Op == OpCopy {
+			copies = append(copies, c)
+		}
+	}
+	sort.Slice(copies, func(i, j int) bool {
+		if copies[i].From != copies[j].From {
+			return copies[i].From < copies[j].From
+		}
+		return copies[i].Length > copies[j].Length
+	})
+	for _, c := range copies {
+		// Trim [c.From, c.From+c.Length) against what is already covered,
+		// emitting the surviving sub-intervals.
+		lo := c.From
+		end := c.From + c.Length
+		for lo < end {
+			// Skip covered prefix.
+			for lo < end && covered.Contains(lo) {
+				lo++
+			}
+			if lo >= end {
+				break
+			}
+			hi := lo
+			for hi < end && !covered.Contains(hi) {
+				hi++
+			}
+			spans = append(spans, span{
+				from:   c.To + (lo - c.From),
+				to:     lo,
+				length: hi - lo,
+			})
+			covered.Add(interval.Interval{Lo: lo, Hi: hi - 1})
+			lo = hi
+		}
+	}
+
+	sort.Slice(spans, func(i, j int) bool { return spans[i].to < spans[j].to })
+	// Emit in R write order, filling gaps with literals from R.
+	var at int64
+	for _, s := range spans {
+		if s.to > at {
+			data := make([]byte, s.to-at)
+			copy(data, ref[at:s.to])
+			inv.Commands = append(inv.Commands, NewAdd(at, data))
+		}
+		inv.Commands = append(inv.Commands, NewCopy(s.from, s.to, s.length))
+		at = s.to + s.length
+	}
+	if at < d.RefLen {
+		data := make([]byte, d.RefLen-at)
+		copy(data, ref[at:])
+		inv.Commands = append(inv.Commands, NewAdd(at, data))
+	}
+	return inv, nil
+}

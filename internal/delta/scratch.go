@@ -1,0 +1,129 @@
+package delta
+
+import (
+	"fmt"
+
+	"ipdelta/internal/interval"
+)
+
+// Bounded-scratch reconstruction extends the paper's pure in-place model:
+// a device willing to provide s bytes of scratch memory (still far less
+// than a second file copy) can preserve copies that cycle breaking would
+// otherwise convert to adds. Two additional command kinds express this:
+//
+//   - a stash command ⟨f, l⟩ reads [f, f+l-1] from the buffer into the
+//     scratch area (appending). Stash commands are executed while their
+//     source bytes are still original, so they are placed before any
+//     writes that intersect them — the converter puts them first.
+//   - an unstash command ⟨t, l⟩ writes the next l scratch bytes (FIFO
+//     order) to [t, t+l-1] of the version file.
+//
+// With a zero budget the model reduces exactly to the paper's algorithm.
+
+const (
+	// OpStash copies buffer bytes into the scratch area.
+	OpStash Op = 3
+	// OpUnstash writes scratch bytes into the version file.
+	OpUnstash Op = 4
+)
+
+// NewStash returns a stash command reading [from, from+length-1].
+func NewStash(from, length int64) Command {
+	return Command{Op: OpStash, From: from, Length: length}
+}
+
+// NewUnstash returns an unstash command writing the next length scratch
+// bytes at offset to.
+func NewUnstash(to, length int64) Command {
+	return Command{Op: OpUnstash, To: to, Length: length}
+}
+
+// ScratchRequired returns the scratch bytes a delta needs: the total
+// length of its stash commands (scratch is consumed FIFO after all stashes
+// complete, so the peak equals the total).
+func (d *Delta) ScratchRequired() int64 {
+	var n int64
+	for _, c := range d.Commands {
+		if c.Op == OpStash {
+			n += c.Length
+		}
+	}
+	return n
+}
+
+// scratch-related validation errors.
+var (
+	ErrScratchUnbalanced = fmt.Errorf("unstash bytes disagree with stash bytes")
+	ErrScratchUnderflow  = fmt.Errorf("unstash consumes more than has been stashed")
+)
+
+// validateScratch checks the stash/unstash bookkeeping: stash reads are
+// in-bounds, unstash never consumes bytes that have not been stashed yet,
+// and the totals balance.
+func (d *Delta) validateScratch() error {
+	var stashed, consumed int64
+	for k, c := range d.Commands {
+		switch c.Op {
+		case OpStash:
+			if c.From < 0 {
+				return &ValidationError{Index: k, Cmd: c, Cause: ErrNegativeOffset}
+			}
+			if c.Length <= 0 {
+				return &ValidationError{Index: k, Cmd: c, Cause: ErrZeroLength}
+			}
+			if c.From+c.Length > d.RefLen {
+				return &ValidationError{Index: k, Cmd: c, Cause: ErrReadOOB}
+			}
+			stashed += c.Length
+		case OpUnstash:
+			if c.To < 0 {
+				return &ValidationError{Index: k, Cmd: c, Cause: ErrNegativeOffset}
+			}
+			if c.Length <= 0 {
+				return &ValidationError{Index: k, Cmd: c, Cause: ErrZeroLength}
+			}
+			if c.To+c.Length > d.VersionLen {
+				return &ValidationError{Index: k, Cmd: c, Cause: ErrWriteOOB}
+			}
+			consumed += c.Length
+			if consumed > stashed {
+				return &ValidationError{Index: k, Cmd: c, Cause: ErrScratchUnderflow}
+			}
+		}
+	}
+	if stashed != consumed {
+		return &ValidationError{Index: -1, Cause: ErrScratchUnbalanced}
+	}
+	return nil
+}
+
+// scratchState tracks the FIFO scratch area during application.
+type scratchState struct {
+	buf  []byte
+	read int64
+}
+
+// stash appends data.
+func (s *scratchState) stash(p []byte) { s.buf = append(s.buf, p...) }
+
+// unstash returns the next n bytes in FIFO order.
+func (s *scratchState) unstash(n int64) ([]byte, error) {
+	if s.read+n > int64(len(s.buf)) {
+		return nil, ErrScratchUnderflow
+	}
+	out := s.buf[s.read : s.read+n]
+	s.read += n
+	return out, nil
+}
+
+// stashReadInterval returns the buffer interval a command reads for the
+// purpose of WR-conflict checking: copies and stashes read the buffer,
+// adds and unstashes do not.
+func stashReadInterval(c Command) interval.Interval {
+	switch c.Op {
+	case OpCopy, OpStash:
+		return interval.FromRange(c.From, c.Length)
+	default:
+		return interval.Interval{Lo: 0, Hi: -1}
+	}
+}

@@ -1,0 +1,176 @@
+package delta
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// scratchSwap swaps two halves via stash/unstash.
+func scratchSwap() *Delta {
+	return &Delta{
+		RefLen:     8,
+		VersionLen: 8,
+		Commands: []Command{
+			NewStash(0, 4),
+			NewCopy(4, 0, 4),
+			NewUnstash(4, 4),
+		},
+	}
+}
+
+func TestScratchOpsBasics(t *testing.T) {
+	st := NewStash(3, 5)
+	if st.Op != OpStash || st.From != 3 || st.Length != 5 {
+		t.Fatalf("stash = %+v", st)
+	}
+	if !st.WriteInterval().Empty() {
+		t.Fatal("stash must have an empty write interval")
+	}
+	if r := st.ReadInterval(); r.Lo != 3 || r.Hi != 7 {
+		t.Fatalf("stash read interval = %v", r)
+	}
+	un := NewUnstash(9, 2)
+	if un.Op != OpUnstash || un.To != 9 || un.Length != 2 {
+		t.Fatalf("unstash = %+v", un)
+	}
+	if !un.ReadInterval().Empty() {
+		t.Fatal("unstash must not read the buffer")
+	}
+	if w := un.WriteInterval(); w.Lo != 9 || w.Hi != 10 {
+		t.Fatalf("unstash write interval = %v", w)
+	}
+	if OpStash.String() != "stash" || OpUnstash.String() != "unstash" {
+		t.Fatal("op names wrong")
+	}
+	if st.String() != "stash⟨3,5⟩" || un.String() != "unstash⟨9,2⟩" {
+		t.Fatalf("strings: %s %s", st, un)
+	}
+}
+
+func TestScratchValidateAccepts(t *testing.T) {
+	d := scratchSwap()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.ScratchRequired() != 4 {
+		t.Fatalf("ScratchRequired = %d", d.ScratchRequired())
+	}
+}
+
+func TestScratchValidateRejects(t *testing.T) {
+	tests := []struct {
+		name string
+		d    *Delta
+		want error
+	}{
+		{
+			name: "unbalanced stash",
+			d: &Delta{RefLen: 8, VersionLen: 8, Commands: []Command{
+				NewStash(0, 4),
+				NewCopy(0, 0, 8),
+			}},
+			want: ErrScratchUnbalanced,
+		},
+		{
+			name: "underflow",
+			d: &Delta{RefLen: 8, VersionLen: 8, Commands: []Command{
+				NewUnstash(0, 4),
+				NewStash(0, 4),
+				NewCopy(0, 4, 4),
+			}},
+			want: ErrScratchUnderflow,
+		},
+		{
+			name: "stash read out of bounds",
+			d: &Delta{RefLen: 8, VersionLen: 8, Commands: []Command{
+				NewStash(6, 4),
+				NewCopy(0, 0, 4),
+				NewUnstash(4, 4),
+			}},
+			want: ErrReadOOB,
+		},
+		{
+			name: "unstash write out of bounds",
+			d: &Delta{RefLen: 8, VersionLen: 8, Commands: []Command{
+				NewStash(0, 4),
+				NewCopy(0, 0, 6),
+				NewUnstash(6, 4),
+			}},
+			want: ErrWriteOOB,
+		},
+		{
+			name: "negative stash offset",
+			d: &Delta{RefLen: 8, VersionLen: 8, Commands: []Command{
+				NewStash(-1, 4),
+				NewCopy(0, 0, 8),
+				NewUnstash(0, 4),
+			}},
+			want: ErrNegativeOffset,
+		},
+		{
+			name: "zero-length unstash",
+			d: &Delta{RefLen: 8, VersionLen: 8, Commands: []Command{
+				NewStash(0, 4),
+				NewCopy(0, 0, 8),
+				NewUnstash(0, 0),
+			}},
+			want: ErrZeroLength,
+		},
+		{
+			name: "stash with data payload",
+			d: &Delta{RefLen: 8, VersionLen: 8, Commands: []Command{
+				{Op: OpStash, From: 0, Length: 4, Data: []byte("xxxx")},
+				NewCopy(0, 0, 8),
+				NewUnstash(0, 4),
+			}},
+			want: ErrAddLength,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.d.Validate(); !errors.Is(err, tt.want) {
+				t.Fatalf("Validate() = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestScratchApplyBothEngines(t *testing.T) {
+	d := scratchSwap()
+	ref := []byte("AAAABBBB")
+	want, err := d.Apply(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(want) != "BBBBAAAA" {
+		t.Fatalf("Apply = %q", want)
+	}
+	buf := append([]byte(nil), ref...)
+	if err := d.ApplyInPlace(buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("ApplyInPlace = %q", buf)
+	}
+	// The scratch swap must also pass the in-place safety check.
+	if err := d.CheckInPlace(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScratchCheckInPlaceCatchesLateStash(t *testing.T) {
+	// A stash placed after a write into its read interval is unsafe.
+	d := &Delta{
+		RefLen:     8,
+		VersionLen: 8,
+		Commands: []Command{
+			NewCopy(4, 0, 4), // writes [0,3]
+			NewStash(0, 4),   // reads [0,3] — too late!
+			NewUnstash(4, 4),
+		},
+	}
+	if err := d.CheckInPlace(); err == nil {
+		t.Fatal("late stash accepted as in-place safe")
+	}
+}

@@ -1,0 +1,71 @@
+package delta
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Summary aggregates command statistics of a delta — the command counts
+// and length distributions behind the paper's observation that classical
+// codewords produce "many short add commands".
+type Summary struct {
+	Copies      int
+	Adds        int
+	CopiedBytes int64
+	AddedBytes  int64
+	// Length percentiles (P50/P90/Max) per command kind; zero when the
+	// kind is absent.
+	CopyP50, CopyP90, CopyMax int64
+	AddP50, AddP90, AddMax    int64
+	// ShortAdds counts add commands of at most 32 bytes — the encoding
+	// overhead hot spot.
+	ShortAdds int
+}
+
+// Summarize computes command statistics.
+func (d *Delta) Summarize() Summary {
+	var s Summary
+	var copyLens, addLens []int64
+	for _, c := range d.Commands {
+		switch c.Op {
+		case OpCopy:
+			s.Copies++
+			s.CopiedBytes += c.Length
+			copyLens = append(copyLens, c.Length)
+		case OpAdd:
+			s.Adds++
+			s.AddedBytes += c.Length
+			addLens = append(addLens, c.Length)
+			if c.Length <= 32 {
+				s.ShortAdds++
+			}
+		}
+	}
+	s.CopyP50, s.CopyP90, s.CopyMax = percentiles(copyLens)
+	s.AddP50, s.AddP90, s.AddMax = percentiles(addLens)
+	return s
+}
+
+// percentiles returns the 50th and 90th percentile and maximum of lens.
+func percentiles(lens []int64) (p50, p90, max int64) {
+	if len(lens) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(lens, func(i, j int) bool { return lens[i] < lens[j] })
+	at := func(q float64) int64 {
+		k := int(q * float64(len(lens)-1))
+		return lens[k]
+	}
+	return at(0.50), at(0.90), lens[len(lens)-1]
+}
+
+// Render prints the summary in a fixed, human-readable layout.
+func (s Summary) Render(w io.Writer) error {
+	_, err := fmt.Fprintf(w,
+		"copies: %d (%d bytes; len p50/p90/max %d/%d/%d)\n"+
+			"adds:   %d (%d bytes; len p50/p90/max %d/%d/%d; %d short ≤32B)\n",
+		s.Copies, s.CopiedBytes, s.CopyP50, s.CopyP90, s.CopyMax,
+		s.Adds, s.AddedBytes, s.AddP50, s.AddP90, s.AddMax, s.ShortAdds)
+	return err
+}

@@ -1,0 +1,63 @@
+package delta
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	d := &Delta{
+		RefLen:     100,
+		VersionLen: 100,
+		Commands: []Command{
+			NewCopy(0, 0, 10),
+			NewCopy(10, 10, 30),
+			NewCopy(40, 40, 20),
+			NewAdd(60, make([]byte, 8)),
+			NewAdd(68, make([]byte, 32)),
+		},
+	}
+	s := d.Summarize()
+	if s.Copies != 3 || s.Adds != 2 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.CopiedBytes != 60 || s.AddedBytes != 40 {
+		t.Fatalf("bytes: %+v", s)
+	}
+	if s.CopyMax != 30 || s.AddMax != 32 {
+		t.Fatalf("maxima: %+v", s)
+	}
+	if s.CopyP50 != 20 {
+		t.Fatalf("CopyP50 = %d", s.CopyP50)
+	}
+	if s.ShortAdds != 2 {
+		t.Fatalf("ShortAdds = %d", s.ShortAdds)
+	}
+	var sb strings.Builder
+	if err := s.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "copies: 3") || !strings.Contains(sb.String(), "adds:   2") {
+		t.Fatalf("render:\n%s", sb.String())
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := (&Delta{}).Summarize()
+	if s.Copies != 0 || s.Adds != 0 || s.CopyMax != 0 || s.AddMax != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	p50, p90, max := percentiles([]int64{5, 1, 9, 3, 7})
+	if p50 != 5 || max != 9 {
+		t.Fatalf("p50=%d p90=%d max=%d", p50, p90, max)
+	}
+	if p90 != 7 && p90 != 9 { // index rounding may land either side
+		t.Fatalf("p90 = %d", p90)
+	}
+	if a, b, c := percentiles(nil); a != 0 || b != 0 || c != 0 {
+		t.Fatal("nil percentiles not zero")
+	}
+}

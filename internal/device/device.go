@@ -1,0 +1,318 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"ipdelta/internal/codec"
+	"ipdelta/internal/delta"
+)
+
+// DefaultWorkBufSize is the default size of the device's only working
+// buffer. It bounds the device's memory use regardless of file or delta
+// size.
+const DefaultWorkBufSize = 4096
+
+// Errors reported by the device patcher.
+var (
+	ErrNotInPlace     = errors.New("device: delta format cannot be applied in place")
+	ErrWrongVersion   = errors.New("device: delta reference length disagrees with installed image")
+	ErrImageTooLarge  = errors.New("device: new version exceeds flash capacity")
+	ErrResumeMismatch = errors.New("device: resumed delta differs from the interrupted one")
+	ErrScratchBudget  = errors.New("device: delta needs more scratch than the flash can spare")
+)
+
+// progress is the simulated NVRAM word recording how far an interrupted
+// update got: the number of fully applied commands and the bytes completed
+// of the in-flight command. Sixteen bytes of durable state is all a real
+// device needs to make in-place updates power-cut safe.
+type progress struct {
+	active     bool
+	cmd        int64
+	done       int64
+	refLen     int64
+	versionLen int64
+	numCmds    int64
+	refCRC     uint32
+}
+
+// Store is the storage a device patches in place: the Flash simulation or
+// a real file via FileStore. Reads beyond written data return zeros, like
+// an erased part.
+type Store interface {
+	// ReadAt fills p from offset off.
+	ReadAt(p []byte, off int64) error
+	// WriteAt stores p at offset off.
+	WriteAt(p []byte, off int64) error
+	// Capacity is the total storage size in bytes.
+	Capacity() int64
+}
+
+// Device is a limited-memory network device: a storage part, a bounded
+// working buffer, and a tiny progress record. It applies in-place deltas
+// streamed from the network without ever allocating version-sized scratch.
+type Device struct {
+	store    Store
+	imageLen int64
+	work     []byte
+	nv       progress
+	nvWrites int64
+}
+
+// New returns a device whose storage currently holds an image of imageLen
+// bytes. workBufSize bounds the working buffer (minimum 16 bytes).
+func New(store Store, imageLen int64, workBufSize int) *Device {
+	if workBufSize < 16 {
+		workBufSize = 16
+	}
+	return &Device{store: store, imageLen: imageLen, work: make([]byte, workBufSize)}
+}
+
+// ImageLen returns the length of the currently installed image.
+func (d *Device) ImageLen() int64 { return d.imageLen }
+
+// FlashCapacity returns the total flash size.
+func (d *Device) FlashCapacity() int64 { return d.store.Capacity() }
+
+// Image returns a copy of the installed image.
+func (d *Device) Image() []byte {
+	out := make([]byte, d.imageLen)
+	for at := int64(0); at < d.imageLen; {
+		n := int64(len(d.work))
+		if d.imageLen-at < n {
+			n = d.imageLen - at
+		}
+		if err := d.store.ReadAt(out[at:at+n], at); err != nil {
+			return out[:at]
+		}
+		at += n
+	}
+	return out
+}
+
+// Updating reports whether an interrupted update is pending resume.
+func (d *Device) Updating() bool { return d.nv.active }
+
+// NVWrites returns how many times the progress record was persisted —
+// a proxy for NVRAM wear.
+func (d *Device) NVWrites() int64 { return d.nvWrites }
+
+// persist simulates writing the progress record to NVRAM.
+func (d *Device) persist() { d.nvWrites++ }
+
+// ImageCRC computes the CRC32 of the installed image using the bounded
+// working buffer; the update protocol uses it to identify versions.
+func (d *Device) ImageCRC() (uint32, error) {
+	h := crc32.NewIEEE()
+	for at := int64(0); at < d.imageLen; {
+		n := int64(len(d.work))
+		if d.imageLen-at < n {
+			n = d.imageLen - at
+		}
+		if err := d.store.ReadAt(d.work[:n], at); err != nil {
+			return 0, err
+		}
+		h.Write(d.work[:n])
+		at += n
+	}
+	return h.Sum32(), nil
+}
+
+// Pending describes an interrupted update.
+type Pending struct {
+	RefCRC     uint32
+	RefLen     int64
+	VersionLen int64
+}
+
+// PendingUpdate returns details of the interrupted update, if any, so an
+// update client can ask the server to re-stream the same delta.
+func (d *Device) PendingUpdate() (Pending, bool) {
+	if !d.nv.active {
+		return Pending{}, false
+	}
+	return Pending{RefCRC: d.nv.refCRC, RefLen: d.nv.refLen, VersionLen: d.nv.versionLen}, true
+}
+
+// Apply streams an in-place reconstructible delta from r and applies it to
+// the flash. If a previous Apply was interrupted (e.g. by ErrPowerCut), the
+// same delta may be streamed again and application resumes where it
+// stopped; commands already applied are skipped without touching the flash.
+//
+// Deltas in the scratch format use a dedicated region at the top of the
+// flash as durable scratch (so resume survives power cuts); the flash must
+// have room for max(image, version) plus the declared scratch bytes.
+//
+// On success the installed image is the new version. On error the flash
+// holds a partial update and the progress record allows resumption; any
+// other delta is rejected until the interrupted one completes.
+func (d *Device) Apply(r io.Reader) error {
+	dec, err := codec.NewDecoder(r)
+	if err != nil {
+		return err
+	}
+	hdr := dec.Header()
+	if !hdr.Format.InPlaceCapable() {
+		return fmt.Errorf("%w: %v", ErrNotInPlace, hdr.Format)
+	}
+	if hdr.VersionLen > d.store.Capacity() {
+		return fmt.Errorf("%w: need %d bytes, capacity %d", ErrImageTooLarge, hdr.VersionLen, d.store.Capacity())
+	}
+	// The durable scratch area sits above both file images.
+	imageArea := hdr.VersionLen
+	if hdr.RefLen > imageArea {
+		imageArea = hdr.RefLen
+	}
+	if imageArea+hdr.ScratchLen > d.store.Capacity() {
+		return fmt.Errorf("%w: need %d image + %d scratch, capacity %d",
+			ErrScratchBudget, imageArea, hdr.ScratchLen, d.store.Capacity())
+	}
+	scratchBase := d.store.Capacity() - hdr.ScratchLen
+	if d.nv.active {
+		if hdr.RefLen != d.nv.refLen || hdr.VersionLen != d.nv.versionLen || int64(hdr.NumCommands) != d.nv.numCmds {
+			return ErrResumeMismatch
+		}
+	} else {
+		if hdr.RefLen != d.imageLen {
+			return fmt.Errorf("%w: image %d bytes, delta expects %d", ErrWrongVersion, d.imageLen, hdr.RefLen)
+		}
+		refCRC, err := d.ImageCRC()
+		if err != nil {
+			return err
+		}
+		d.nv = progress{
+			active:     true,
+			refLen:     hdr.RefLen,
+			versionLen: hdr.VersionLen,
+			numCmds:    int64(hdr.NumCommands),
+			refCRC:     refCRC,
+		}
+		d.persist()
+	}
+
+	// Scratch cursors are recomputed deterministically while streaming, so
+	// they need no NVRAM of their own: skipped commands advance them too.
+	var stashAt, unstashAt int64
+	for idx := int64(0); ; idx++ {
+		c, payload, err := dec.NextStreaming()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		// Resolve scratch-area addresses before the skip decision.
+		var scratchOff int64
+		switch c.Op {
+		case delta.OpStash:
+			scratchOff = scratchBase + stashAt
+			stashAt += c.Length
+		case delta.OpUnstash:
+			scratchOff = scratchBase + unstashAt
+			unstashAt += c.Length
+		}
+		if idx < d.nv.cmd {
+			// Already applied before the interruption; drain and skip.
+			if payload != nil {
+				if _, err := io.Copy(io.Discard, payload); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		resume := int64(0)
+		if idx == d.nv.cmd {
+			resume = d.nv.done
+		}
+		if err := d.applyCommand(c, payload, resume, scratchOff); err != nil {
+			return err
+		}
+		d.nv.cmd = idx + 1
+		d.nv.done = 0
+		d.persist()
+	}
+	d.imageLen = d.nv.versionLen
+	d.nv = progress{}
+	d.persist()
+	return nil
+}
+
+// applyCommand executes one command chunk by chunk, starting from
+// `resume` completed bytes, persisting progress after every chunk. For
+// stash/unstash commands, scratchOff addresses the durable scratch region.
+func (d *Device) applyCommand(c delta.Command, payload io.Reader, resume, scratchOff int64) error {
+	switch c.Op {
+	case delta.OpCopy:
+		return d.applyCopy(c, resume)
+	case delta.OpAdd:
+		return d.applyAdd(c, payload, resume)
+	case delta.OpStash:
+		// Copy buffer bytes into the scratch region; the regions are
+		// disjoint, so a plain left-to-right chunked copy is safe.
+		return d.applyCopy(delta.NewCopy(c.From, scratchOff, c.Length), resume)
+	case delta.OpUnstash:
+		// Copy scratch bytes back into the version area.
+		return d.applyCopy(delta.NewCopy(scratchOff, c.To, c.Length), resume)
+	default:
+		return fmt.Errorf("device: %v", delta.ErrBadOp)
+	}
+}
+
+// applyCopy performs a directional chunked copy (§4.1 of the paper):
+// left-to-right when from >= to, right-to-left otherwise, so a copy whose
+// read and write intervals overlap never reads a byte it has already
+// overwritten — even across power cuts, since progress is persisted per
+// chunk and chunks are re-run only if their write never happened.
+func (d *Device) applyCopy(c delta.Command, done int64) error {
+	step := int64(len(d.work))
+	for done < c.Length {
+		n := step
+		if c.Length-done < n {
+			n = c.Length - done
+		}
+		var off int64
+		if c.From >= c.To {
+			off = done // left-to-right
+		} else {
+			off = c.Length - done - n // right-to-left
+		}
+		if err := d.store.ReadAt(d.work[:n], c.From+off); err != nil {
+			return err
+		}
+		if err := d.store.WriteAt(d.work[:n], c.To+off); err != nil {
+			return err
+		}
+		done += n
+		d.nv.done = done
+		d.persist()
+	}
+	return nil
+}
+
+// applyAdd streams the payload into flash. On resume, the bytes already
+// written are drained from the payload without rewriting them.
+func (d *Device) applyAdd(c delta.Command, payload io.Reader, done int64) error {
+	if done > 0 {
+		if _, err := io.CopyN(io.Discard, payload, done); err != nil {
+			return err
+		}
+	}
+	for done < c.Length {
+		n := int64(len(d.work))
+		if c.Length-done < n {
+			n = c.Length - done
+		}
+		if _, err := io.ReadFull(payload, d.work[:n]); err != nil {
+			return err
+		}
+		if err := d.store.WriteAt(d.work[:n], c.To+done); err != nil {
+			return err
+		}
+		done += n
+		d.nv.done = done
+		d.persist()
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package device
+
+import "math/rand"
+
+// FaultyStore decorates any Store with failure injection, so power-cut and
+// flaky-flash scenarios can be tested against file-backed stores as well
+// as the in-memory Flash (which has its own simple write-count trigger).
+//
+// Failures are counted across reads and writes together when configured
+// with FailAfterOps; independent random failure rates can also be set.
+type FaultyStore struct {
+	inner Store
+
+	opsUntilFailure int64 // -1 disarmed
+	failNextKind    error
+
+	rng           *rand.Rand
+	writeFailProb float64
+}
+
+// Verify interface compliance.
+var _ Store = (*FaultyStore)(nil)
+
+// NewFaultyStore wraps inner with disarmed failure injection.
+func NewFaultyStore(inner Store) *FaultyStore {
+	return &FaultyStore{inner: inner, opsUntilFailure: -1, failNextKind: ErrPowerCut}
+}
+
+// FailAfterOps arms a deterministic failure: the (n+1)-th operation (read
+// or write) from now fails with ErrPowerCut. Negative n disarms.
+func (f *FaultyStore) FailAfterOps(n int64) { f.opsUntilFailure = n }
+
+// WithRandomWriteFailures makes each write fail with probability p,
+// deterministically from seed.
+func (f *FaultyStore) WithRandomWriteFailures(p float64, seed int64) {
+	f.writeFailProb = p
+	f.rng = rand.New(rand.NewSource(seed))
+}
+
+// Capacity implements Store.
+func (f *FaultyStore) Capacity() int64 { return f.inner.Capacity() }
+
+// ReadAt implements Store.
+func (f *FaultyStore) ReadAt(p []byte, off int64) error {
+	if err := f.tick(); err != nil {
+		return err
+	}
+	return f.inner.ReadAt(p, off)
+}
+
+// WriteAt implements Store.
+func (f *FaultyStore) WriteAt(p []byte, off int64) error {
+	if err := f.tick(); err != nil {
+		return err
+	}
+	if f.rng != nil && f.rng.Float64() < f.writeFailProb {
+		return ErrPowerCut
+	}
+	return f.inner.WriteAt(p, off)
+}
+
+// tick advances the deterministic failure counter.
+func (f *FaultyStore) tick() error {
+	if f.opsUntilFailure < 0 {
+		return nil
+	}
+	if f.opsUntilFailure == 0 {
+		return f.failNextKind
+	}
+	f.opsUntilFailure--
+	return nil
+}

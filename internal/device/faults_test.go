@@ -1,0 +1,93 @@
+package device
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"ipdelta/internal/codec"
+	"ipdelta/internal/corpus"
+)
+
+func TestFaultyStoreDeterministic(t *testing.T) {
+	inner, _ := NewFlash(nil, 64)
+	f := NewFaultyStore(inner)
+	if f.Capacity() != 64 {
+		t.Fatalf("Capacity = %d", f.Capacity())
+	}
+	buf := make([]byte, 4)
+	// Disarmed: everything works.
+	if err := f.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Fail after 2 more ops.
+	f.FailAfterOps(2)
+	if err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ReadAt(buf, 0); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("error = %v, want ErrPowerCut", err)
+	}
+	f.FailAfterOps(-1)
+	if err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultyStoreRandomWriteFailures(t *testing.T) {
+	inner, _ := NewFlash(nil, 1024)
+	f := NewFaultyStore(inner)
+	f.WithRandomWriteFailures(0.5, 42)
+	buf := make([]byte, 8)
+	failures := 0
+	for k := 0; k < 200; k++ {
+		if err := f.WriteAt(buf, 0); errors.Is(err, ErrPowerCut) {
+			failures++
+		}
+	}
+	if failures < 50 || failures > 150 {
+		t.Fatalf("%d/200 failures at p=0.5", failures)
+	}
+	// Reads are unaffected by write-failure injection.
+	if err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviceSurvivesFlakyStore(t *testing.T) {
+	// A device retrying against a store with random write failures must
+	// eventually converge with a correct image — the crash-only design.
+	pair := corpus.Generate(corpus.PairSpec{Profile: corpus.Binary, Size: 24 << 10, ChangeRate: 0.12, Seed: 91})
+	enc := buildInPlaceDelta(t, pair.Ref, pair.Version, codec.FormatCompact)
+	inner, err := NewFlash(pair.Ref, 48<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := NewFaultyStore(inner)
+	flaky.WithRandomWriteFailures(0.02, 7)
+	dev := New(flaky, int64(len(pair.Ref)), 512)
+
+	attempts := 0
+	for {
+		err := dev.Apply(bytes.NewReader(enc))
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrPowerCut) {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		attempts++
+		if attempts > 10000 {
+			t.Fatal("never converged")
+		}
+	}
+	if attempts == 0 {
+		t.Skip("no failures triggered; widen probability")
+	}
+	if !bytes.Equal(dev.Image(), pair.Version) {
+		t.Fatalf("image corrupt after %d flaky attempts", attempts)
+	}
+}

@@ -1,0 +1,75 @@
+package device
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// FileStore adapts a real file to the Store interface, so a Device can
+// patch an image file (or a partition exposed as a file) in place the way
+// real OTA engines do — bounded buffer, no second copy of the image.
+//
+// Reads beyond the current end of file return zeros, matching erased
+// flash; writes extend the file up to the configured capacity.
+type FileStore struct {
+	f        *os.File
+	capacity int64
+}
+
+// Verify interface compliance.
+var _ Store = (*FileStore)(nil)
+
+// NewFileStore wraps f with the given capacity. The file's current
+// contents must fit the capacity.
+func NewFileStore(f *os.File, capacity int64) (*FileStore, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if fi.Size() > capacity {
+		return nil, fmt.Errorf("%w: file %d bytes, capacity %d", ErrOutOfBounds, fi.Size(), capacity)
+	}
+	return &FileStore{f: f, capacity: capacity}, nil
+}
+
+// Capacity implements Store.
+func (s *FileStore) Capacity() int64 { return s.capacity }
+
+// ReadAt implements Store. Short reads past EOF are zero-filled, like an
+// erased part.
+func (s *FileStore) ReadAt(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > s.capacity {
+		return fmt.Errorf("%w: read [%d,%d)", ErrOutOfBounds, off, off+int64(len(p)))
+	}
+	n, err := s.f.ReadAt(p, off)
+	if err == io.EOF || (err == nil && n == len(p)) {
+		for k := n; k < len(p); k++ {
+			p[k] = 0
+		}
+		return nil
+	}
+	return err
+}
+
+// WriteAt implements Store.
+func (s *FileStore) WriteAt(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > s.capacity {
+		return fmt.Errorf("%w: write [%d,%d)", ErrOutOfBounds, off, off+int64(len(p)))
+	}
+	_, err := s.f.WriteAt(p, off)
+	return err
+}
+
+// Truncate shrinks or grows the underlying file to exactly n bytes;
+// callers use it after a successful update so the file length matches the
+// installed image.
+func (s *FileStore) Truncate(n int64) error {
+	if n < 0 || n > s.capacity {
+		return fmt.Errorf("%w: truncate to %d", ErrOutOfBounds, n)
+	}
+	return s.f.Truncate(n)
+}
+
+// Sync flushes the file to stable storage.
+func (s *FileStore) Sync() error { return s.f.Sync() }

@@ -1,0 +1,184 @@
+package device
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ipdelta/internal/codec"
+	"ipdelta/internal/corpus"
+)
+
+// tempImage writes content to a temp file and opens it read-write.
+func tempImage(t *testing.T, content []byte) *os.File {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "image.img")
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestFileStoreBasics(t *testing.T) {
+	f := tempImage(t, []byte("abcdefgh"))
+	s, err := NewFileStore(f, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Capacity() != 16 {
+		t.Fatalf("Capacity = %d", s.Capacity())
+	}
+	buf := make([]byte, 4)
+	if err := s.ReadAt(buf, 2); err != nil || string(buf) != "cdef" {
+		t.Fatalf("ReadAt: %q %v", buf, err)
+	}
+	// Reads past EOF but within capacity are zero-filled.
+	buf = make([]byte, 8)
+	if err := s.ReadAt(buf, 6); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:2]) != "gh" || !bytes.Equal(buf[2:], make([]byte, 6)) {
+		t.Fatalf("EOF read = %q", buf)
+	}
+	// Writes extend the file within capacity.
+	if err := s.WriteAt([]byte("XY"), 12); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReadAt(buf[:2], 12); err != nil || string(buf[:2]) != "XY" {
+		t.Fatalf("read back: %q %v", buf[:2], err)
+	}
+	// Bounds are enforced.
+	if err := s.ReadAt(buf, 10); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("OOB read error = %v", err)
+	}
+	if err := s.WriteAt(buf, 10); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("OOB write error = %v", err)
+	}
+	if err := s.Truncate(99); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("OOB truncate error = %v", err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewFileStoreRejectsOversizedFile(t *testing.T) {
+	f := tempImage(t, make([]byte, 100))
+	if _, err := NewFileStore(f, 50); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestDeviceOverFileStore(t *testing.T) {
+	pair := corpus.Generate(corpus.PairSpec{Profile: corpus.Firmware, Size: 48 << 10, ChangeRate: 0.10, Seed: 77})
+	enc := buildInPlaceDelta(t, pair.Ref, pair.Version, codec.FormatCompact)
+
+	f := tempImage(t, pair.Ref)
+	capacity := int64(len(pair.Ref))
+	if int64(len(pair.Version)) > capacity {
+		capacity = int64(len(pair.Version))
+	}
+	s, err := NewFileStore(f, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := New(s, int64(len(pair.Ref)), 1024)
+	if err := dev.Apply(bytes.NewReader(enc)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dev.Image(), pair.Version) {
+		t.Fatal("file-backed device produced wrong image")
+	}
+	// Truncate to the final length and re-read the file from disk.
+	if err := s.Truncate(dev.ImageLen()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pair.Version) {
+		t.Fatal("on-disk file does not hold the new version")
+	}
+}
+
+func TestDeviceOverFileStoreResume(t *testing.T) {
+	// Resume works over files too: interrupt by applying a truncated
+	// stream, then finish with the full stream.
+	pair := corpus.Generate(corpus.PairSpec{Profile: corpus.Binary, Size: 32 << 10, ChangeRate: 0.10, Seed: 78})
+	enc := buildInPlaceDelta(t, pair.Ref, pair.Version, codec.FormatCompact)
+
+	f := tempImage(t, pair.Ref)
+	capacity := int64(len(pair.Ref)) + 32<<10
+	s, err := NewFileStore(f, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := New(s, int64(len(pair.Ref)), 512)
+	// Feed only half the delta: the decode fails mid-stream, leaving the
+	// device mid-update.
+	if err := dev.Apply(bytes.NewReader(enc[:len(enc)/2])); err == nil {
+		t.Fatal("truncated stream must fail")
+	}
+	if !dev.Updating() {
+		t.Fatal("device lost pending state")
+	}
+	if err := dev.Apply(bytes.NewReader(enc)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dev.Image(), pair.Version) {
+		t.Fatal("resume over file store failed")
+	}
+}
+
+func TestFileStoreRandomAccessAgainstFlash(t *testing.T) {
+	// FileStore and Flash must behave identically under random operations.
+	rng := rand.New(rand.NewSource(79))
+	const capacity = 4096
+	f := tempImage(t, nil)
+	fs, err := NewFileStore(f, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := NewFlash(nil, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 500; k++ {
+		off := rng.Int63n(capacity)
+		n := rng.Int63n(64) + 1
+		if off+n > capacity {
+			n = capacity - off
+		}
+		if rng.Intn(2) == 0 {
+			p := make([]byte, n)
+			rng.Read(p)
+			if err := fs.WriteAt(p, off); err != nil {
+				t.Fatal(err)
+			}
+			if err := fl.WriteAt(p, off); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			a := make([]byte, n)
+			b := make([]byte, n)
+			if err := fs.ReadAt(a, off); err != nil {
+				t.Fatal(err)
+			}
+			if err := fl.ReadAt(b, off); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatalf("divergence at op %d off %d len %d", k, off, n)
+			}
+		}
+	}
+}

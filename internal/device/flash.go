@@ -1,0 +1,111 @@
+// Package device simulates the limited network-attached devices the paper
+// targets: machines whose only storage is the region holding the current
+// software image, with no room for a second copy.
+//
+// Flash models that storage: a fixed-capacity byte array with read/write
+// accounting and optional power-cut injection. Device layers a streaming,
+// resumable in-place patcher on top, using a small bounded working buffer
+// and an 16-byte simulated NVRAM word for progress — never scratch space
+// proportional to the file size.
+package device
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors reported by the flash simulation.
+var (
+	// ErrPowerCut is returned when an injected power failure interrupts a
+	// write; the flash contents reflect everything written so far.
+	ErrPowerCut = errors.New("device: power cut during write")
+	// ErrOutOfBounds is returned for accesses beyond the flash capacity.
+	ErrOutOfBounds = errors.New("device: access outside flash capacity")
+)
+
+// Flash is a fixed-capacity storage region.
+type Flash struct {
+	data []byte
+
+	// accounting
+	readOps      int64
+	writeOps     int64
+	bytesRead    int64
+	bytesWritten int64
+
+	// failure injection: when >= 0, the write op that would make the
+	// counter negative fails with ErrPowerCut instead.
+	writesUntilFailure int64
+}
+
+// NewFlash returns a flash of the given capacity holding image in its
+// first bytes. The image must fit.
+func NewFlash(image []byte, capacity int64) (*Flash, error) {
+	if int64(len(image)) > capacity {
+		return nil, fmt.Errorf("%w: image %d bytes, capacity %d", ErrOutOfBounds, len(image), capacity)
+	}
+	f := &Flash{data: make([]byte, capacity), writesUntilFailure: -1}
+	copy(f.data, image)
+	return f, nil
+}
+
+// Capacity returns the flash size in bytes.
+func (f *Flash) Capacity() int64 { return int64(len(f.data)) }
+
+// ReadAt copies flash contents at off into p.
+func (f *Flash) ReadAt(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > int64(len(f.data)) {
+		return fmt.Errorf("%w: read [%d,%d)", ErrOutOfBounds, off, off+int64(len(p)))
+	}
+	copy(p, f.data[off:])
+	f.readOps++
+	f.bytesRead += int64(len(p))
+	return nil
+}
+
+// WriteAt stores p at off. With failure injection armed, the fatal write
+// fails atomically (nothing is written) and returns ErrPowerCut.
+func (f *Flash) WriteAt(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > int64(len(f.data)) {
+		return fmt.Errorf("%w: write [%d,%d)", ErrOutOfBounds, off, off+int64(len(p)))
+	}
+	if f.writesUntilFailure == 0 {
+		return ErrPowerCut
+	}
+	if f.writesUntilFailure > 0 {
+		f.writesUntilFailure--
+	}
+	copy(f.data[off:], p)
+	f.writeOps++
+	f.bytesWritten += int64(len(p))
+	return nil
+}
+
+// FailAfterWrites arms power-cut injection: the (n+1)-th write from now
+// fails. A negative n disarms injection.
+func (f *Flash) FailAfterWrites(n int64) { f.writesUntilFailure = n }
+
+// Image returns a copy of the first n bytes of the flash.
+func (f *Flash) Image(n int64) []byte {
+	out := make([]byte, n)
+	copy(out, f.data[:n])
+	return out
+}
+
+// IOStats summarizes flash traffic.
+type IOStats struct {
+	ReadOps      int64
+	WriteOps     int64
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// Stats returns the accumulated I/O counters.
+func (f *Flash) Stats() IOStats {
+	return IOStats{
+		ReadOps:      f.readOps,
+		WriteOps:     f.writeOps,
+		BytesRead:    f.bytesRead,
+		BytesWritten: f.bytesWritten,
+	}
+}

@@ -1,0 +1,145 @@
+package diff
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockwiseByName(t *testing.T) {
+	a, err := ByName("blockwise")
+	if err != nil || a.Name() != "blockwise" {
+		t.Fatalf("ByName: %v, %v", a, err)
+	}
+}
+
+func TestBlockwiseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ref := make([]byte, 64<<10)
+	rng.Read(ref)
+	version := mutate(rng, ref, 15)
+	roundTrip(t, NewBlockwise(), ref, version)
+}
+
+func TestBlockwiseIdenticalFiles(t *testing.T) {
+	data := make([]byte, 16<<10)
+	rand.New(rand.NewSource(12)).Read(data)
+	d := roundTrip(t, NewBlockwise(), data, data)
+	if d.AddedBytes() != 0 {
+		t.Fatalf("identical files added %d bytes", d.AddedBytes())
+	}
+	// Consecutive blocks must merge into few long copies.
+	if d.NumCopies() > 4 {
+		t.Fatalf("identical files fragmented into %d copies", d.NumCopies())
+	}
+}
+
+func TestBlockwiseAlignedBlockMove(t *testing.T) {
+	// Swap two block-aligned halves: blockwise must find both as copies.
+	rng := rand.New(rand.NewSource(13))
+	a := make([]byte, 8<<10)
+	b := make([]byte, 8<<10)
+	rng.Read(a)
+	rng.Read(b)
+	ref := append(append([]byte(nil), a...), b...)
+	version := append(append([]byte(nil), b...), a...)
+	d := roundTrip(t, NewBlockwise(), ref, version)
+	if d.AddedBytes() != 0 {
+		t.Fatalf("aligned move added %d bytes", d.AddedBytes())
+	}
+}
+
+func TestBlockwiseCoarserThanLinear(t *testing.T) {
+	// With unaligned single-byte inserts, blockwise loses whole blocks
+	// where the byte-granular linear differencer loses only bytes.
+	rng := rand.New(rand.NewSource(14))
+	ref := make([]byte, 32<<10)
+	rng.Read(ref)
+	version := append([]byte(nil), ref[:1000]...)
+	version = append(version, 'X') // unaligned insert
+	version = append(version, ref[1000:]...)
+
+	db := roundTrip(t, NewBlockwise(), ref, version)
+	dl := roundTrip(t, NewLinear(), ref, version)
+	if db.AddedBytes() < dl.AddedBytes() {
+		t.Fatalf("blockwise (%d added) beat linear (%d added) on unaligned insert",
+			db.AddedBytes(), dl.AddedBytes())
+	}
+	// But rolling-window matching still recovers after the insert: most of
+	// the file matches.
+	if db.AddedBytes() > int64(len(version))/4 {
+		t.Fatalf("blockwise added %d of %d bytes; rolling match failed",
+			db.AddedBytes(), len(version))
+	}
+}
+
+func TestBlockwiseOptions(t *testing.T) {
+	b := NewBlockwise(WithBlockSize(4))
+	if b.blockSize != 16 {
+		t.Fatalf("block size clamped to %d, want 16", b.blockSize)
+	}
+	b = NewBlockwise(WithBlockSize(128))
+	if b.blockSize != 128 {
+		t.Fatalf("block size = %d", b.blockSize)
+	}
+	rng := rand.New(rand.NewSource(15))
+	ref := make([]byte, 4<<10)
+	rng.Read(ref)
+	roundTrip(t, b, ref, mutate(rng, ref, 4))
+}
+
+func TestBlockwiseEmptyAndTiny(t *testing.T) {
+	roundTrip(t, NewBlockwise(), nil, nil)
+	roundTrip(t, NewBlockwise(), []byte("tiny"), []byte("files"))
+	d := roundTrip(t, NewBlockwise(), make([]byte, 4096), nil)
+	if len(d.Commands) != 0 {
+		t.Fatal("empty version must produce no commands")
+	}
+}
+
+func TestBlockwiseQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ref := make([]byte, rng.Intn(16<<10)+32)
+		rng.Read(ref)
+		version := mutate(rng, ref, rng.Intn(10))
+		b := NewBlockwise(WithBlockSize(rng.Intn(256) + 16))
+		d, err := b.Diff(ref, version)
+		if err != nil {
+			return false
+		}
+		if d.Validate() != nil {
+			return false
+		}
+		got, err := d.Apply(ref)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, version)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockwiseWriteOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	ref := make([]byte, 16<<10)
+	rng.Read(ref)
+	version := mutate(rng, ref, 8)
+	d, err := NewBlockwise().Diff(ref, version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var next int64
+	for _, c := range d.Commands {
+		if c.To != next {
+			t.Fatalf("command %v not in write order (expected offset %d)", c, next)
+		}
+		next += c.Length
+	}
+	if next != d.VersionLen {
+		t.Fatal("coverage gap")
+	}
+}

@@ -1,0 +1,88 @@
+package diff
+
+import (
+	"sort"
+
+	"ipdelta/internal/delta"
+)
+
+// Correcting decorates another differencer with a correction pass, in the
+// spirit of the "correcting one-and-a-half-pass" refinement of the linear
+// differencing family the paper builds on: regions the first pass emitted
+// as literal adds are re-examined with a finer-grained differencer, and
+// any copies recovered there replace the literal bytes.
+//
+// This recovers matches the first pass missed — seeds that straddled an
+// edit, matches shorter than the seed length — at a cost proportional to
+// the add volume rather than the file size.
+type Correcting struct {
+	inner     Algorithm
+	fine      *Linear
+	threshold int64
+}
+
+// CorrectingOption customizes a Correcting differencer.
+type CorrectingOption func(*Correcting)
+
+// WithThreshold sets the minimum add length worth re-examining
+// (default 64 bytes, minimum 16).
+func WithThreshold(n int64) CorrectingOption {
+	return func(c *Correcting) {
+		if n < 16 {
+			n = 16
+		}
+		c.threshold = n
+	}
+}
+
+// NewCorrecting wraps inner (default linear with default seeds) with a
+// fine-grained correction pass (seed length 8).
+func NewCorrecting(inner Algorithm, opts ...CorrectingOption) *Correcting {
+	if inner == nil {
+		inner = NewLinear()
+	}
+	c := &Correcting{
+		inner:     inner,
+		fine:      NewLinear(WithSeedLen(8)),
+		threshold: 64,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Name implements Algorithm.
+func (c *Correcting) Name() string { return "correcting" }
+
+// Diff implements Algorithm.
+func (c *Correcting) Diff(ref, version []byte) (*delta.Delta, error) {
+	d, err := c.inner.Diff(ref, version)
+	if err != nil {
+		return nil, err
+	}
+	out := &delta.Delta{RefLen: d.RefLen, VersionLen: d.VersionLen}
+	for _, cmd := range d.Commands {
+		if cmd.Op != delta.OpAdd || cmd.Length < c.threshold {
+			out.Commands = append(out.Commands, cmd)
+			continue
+		}
+		// Re-diff the literal region against the whole reference with the
+		// finer seed; keep the correction only if it actually found reuse.
+		sub, err := c.fine.Diff(ref, cmd.Data)
+		if err != nil || sub.NumCopies() == 0 {
+			out.Commands = append(out.Commands, cmd)
+			continue
+		}
+		for _, sc := range sub.Commands {
+			sc.To += cmd.To // rebase into the version file
+			out.Commands = append(out.Commands, sc)
+		}
+	}
+	// Keep write order (the sub-deltas are in order, but be safe for inner
+	// algorithms that are not).
+	sort.SliceStable(out.Commands, func(i, j int) bool {
+		return out.Commands[i].To < out.Commands[j].To
+	})
+	return out, nil
+}

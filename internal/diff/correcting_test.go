@@ -1,0 +1,110 @@
+package diff
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCorrectingByName(t *testing.T) {
+	a, err := ByName("correcting")
+	if err != nil || a.Name() != "correcting" {
+		t.Fatalf("ByName: %v, %v", a, err)
+	}
+}
+
+func TestCorrectingRecoversShortMatches(t *testing.T) {
+	// Build a version whose only matches are 10-byte runs — below the
+	// coarse 16-byte seed, above the fine 8-byte seed.
+	rng := rand.New(rand.NewSource(31))
+	ref := make([]byte, 16<<10)
+	rng.Read(ref)
+	version := make([]byte, 0, 16<<10)
+	for at := 0; at+10 <= len(ref) && len(version) < 12<<10; at += 128 {
+		version = append(version, ref[at:at+10]...)
+		junk := make([]byte, 6)
+		rng.Read(junk)
+		version = append(version, junk...)
+	}
+
+	coarse := NewLinear() // 16-byte seeds: finds nothing
+	corrected := NewCorrecting(coarse)
+
+	dc := roundTrip(t, coarse, ref, version)
+	dr := roundTrip(t, corrected, ref, version)
+	if dr.AddedBytes() >= dc.AddedBytes() {
+		t.Fatalf("correction did not help: %d vs %d added bytes",
+			dr.AddedBytes(), dc.AddedBytes())
+	}
+	if dr.NumCopies() == 0 {
+		t.Fatal("correction recovered no copies")
+	}
+}
+
+func TestCorrectingNeverWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for round := 0; round < 5; round++ {
+		ref := make([]byte, 16<<10)
+		rng.Read(ref)
+		version := mutate(rng, ref, rng.Intn(20))
+		base := NewLinear()
+		corr := NewCorrecting(base)
+		db := roundTrip(t, base, ref, version)
+		dc := roundTrip(t, corr, ref, version)
+		if dc.AddedBytes() > db.AddedBytes() {
+			t.Fatalf("round %d: correction increased adds %d -> %d",
+				round, db.AddedBytes(), dc.AddedBytes())
+		}
+	}
+}
+
+func TestCorrectingOverBlockwise(t *testing.T) {
+	// Correction helps coarse block-granular diffs most: unaligned edits
+	// stop whole blocks from matching, and the fine pass recovers them.
+	rng := rand.New(rand.NewSource(33))
+	ref := make([]byte, 32<<10)
+	rng.Read(ref)
+	version := append([]byte(nil), ref[:777]...) // unaligned prefix cut
+	version = append(version, ref[1000:]...)
+	blocky := NewBlockwise()
+	corrected := NewCorrecting(blocky)
+	db := roundTrip(t, blocky, ref, version)
+	dc := roundTrip(t, corrected, ref, version)
+	if dc.AddedBytes() >= db.AddedBytes() {
+		t.Fatalf("correction over blockwise: %d vs %d added",
+			dc.AddedBytes(), db.AddedBytes())
+	}
+}
+
+func TestCorrectingThresholdClamp(t *testing.T) {
+	c := NewCorrecting(nil, WithThreshold(1))
+	if c.threshold != 16 {
+		t.Fatalf("threshold clamped to %d, want 16", c.threshold)
+	}
+}
+
+func TestCorrectingQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ref := make([]byte, rng.Intn(8<<10)+64)
+		rng.Read(ref)
+		version := mutate(rng, ref, rng.Intn(10))
+		c := NewCorrecting(NewLinear())
+		d, err := c.Diff(ref, version)
+		if err != nil {
+			return false
+		}
+		if d.Validate() != nil {
+			return false
+		}
+		got, err := d.Apply(ref)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, version)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,34 @@
+package diff
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDiffRoundTrip checks the central differencing contract on arbitrary
+// byte pairs: the delta validates and applies back to the version.
+func FuzzDiffRoundTrip(f *testing.F) {
+	f.Add([]byte("hello world, this is the reference"), []byte("hello brave world, this was the reference"))
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"), []byte("aaaaaaaaaaaaaaaabaaaaaaaaaaaaaaa"))
+	f.Add(bytes.Repeat([]byte{0}, 100), bytes.Repeat([]byte{0xFF}, 80))
+
+	f.Fuzz(func(t *testing.T, ref, version []byte) {
+		for _, a := range []Algorithm{NewLinear(WithSeedLen(4)), NewGreedy(WithGreedySeedLen(4))} {
+			d, err := a.Diff(ref, version)
+			if err != nil {
+				t.Fatalf("%s: Diff: %v", a.Name(), err)
+			}
+			if err := d.Validate(); err != nil {
+				t.Fatalf("%s: invalid delta: %v", a.Name(), err)
+			}
+			got, err := d.Apply(ref)
+			if err != nil {
+				t.Fatalf("%s: Apply: %v", a.Name(), err)
+			}
+			if !bytes.Equal(got, version) {
+				t.Fatalf("%s: round trip mismatch", a.Name())
+			}
+		}
+	})
+}

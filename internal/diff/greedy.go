@@ -1,0 +1,125 @@
+package diff
+
+import (
+	"bytes"
+
+	"ipdelta/internal/delta"
+)
+
+// Greedy is the classical byte-granular greedy differencer: at every
+// version offset it looks up all reference positions sharing the current
+// seed (via chained hash buckets) and takes the longest verified match.
+// It typically compresses slightly better than Linear at substantially
+// higher cost — quadratic in the worst case — which is the trade-off the
+// paper's related-work section describes.
+type Greedy struct {
+	seedLen  int
+	maxChain int
+}
+
+// GreedyOption customizes a Greedy differencer.
+type GreedyOption func(*Greedy)
+
+// WithGreedySeedLen sets the seed length (default 8, minimum 4).
+func WithGreedySeedLen(p int) GreedyOption {
+	return func(g *Greedy) {
+		if p < 4 {
+			p = 4
+		}
+		g.seedLen = p
+	}
+}
+
+// WithMaxChain bounds how many candidate occurrences are examined per
+// version offset (default 64). Zero or negative means unbounded, restoring
+// the true quadratic-time greedy method.
+func WithMaxChain(n int) GreedyOption {
+	return func(g *Greedy) { g.maxChain = n }
+}
+
+// NewGreedy returns a greedy differencer with the options applied.
+func NewGreedy(opts ...GreedyOption) *Greedy {
+	g := &Greedy{seedLen: 8, maxChain: 64}
+	for _, o := range opts {
+		o(g)
+	}
+	return g
+}
+
+// Name implements Algorithm.
+func (g *Greedy) Name() string { return "greedy" }
+
+// Diff implements Algorithm.
+func (g *Greedy) Diff(ref, version []byte) (*delta.Delta, error) {
+	d := &delta.Delta{RefLen: int64(len(ref)), VersionLen: int64(len(version))}
+	if len(version) == 0 {
+		return d, nil
+	}
+	p := g.seedLen
+	if len(ref) < p || len(version) < p {
+		return Null{}.Diff(ref, version)
+	}
+
+	// Index every reference seed into chained buckets: head[h] is the most
+	// recent offset with fingerprint bucket h (+1), next[r] chains to the
+	// previous offset with the same bucket.
+	const tableBits = 17
+	mask := uint64(1)<<tableBits - 1
+	head := make([]int32, uint64(1)<<tableBits)
+	next := make([]int32, len(ref)-p+1)
+	rh := newKRHasher(p)
+	rh.init(ref[:p])
+	for r := 0; ; r++ {
+		b := rh.hash & mask
+		next[r] = head[b]
+		head[b] = int32(r) + 1
+		if r+p >= len(ref) {
+			break
+		}
+		rh.roll(ref[r], ref[r+p])
+	}
+
+	e := &emitter{}
+	vh := newKRHasher(p)
+	vh.init(version[:p])
+	v := 0
+	lit := 0
+	for {
+		bestLen, bestR := 0, 0
+		chain := 0
+		for cand := head[vh.hash&mask]; cand != 0; cand = next[cand-1] {
+			r := int(cand) - 1
+			if g.maxChain > 0 && chain >= g.maxChain {
+				break
+			}
+			chain++
+			if !bytes.Equal(ref[r:r+p], version[v:v+p]) {
+				continue
+			}
+			n := p + matchForward(ref, version, r+p, v+p)
+			if n > bestLen {
+				bestLen, bestR = n, r
+			}
+		}
+		if bestLen >= p {
+			back := matchBackward(ref, version, bestR, v, v-lit)
+			e.literal(version[lit : v-back])
+			e.copyCmd(int64(bestR-back), int64(bestLen+back))
+			v += bestLen
+			lit = v
+			if v+p > len(version) {
+				break
+			}
+			vh.init(version[v : v+p])
+			continue
+		}
+		if v+p >= len(version) {
+			break
+		}
+		vh.roll(version[v], version[v+p])
+		v++
+	}
+	e.literal(version[lit:])
+	d.Commands = e.finish()
+	return d, nil
+}

@@ -1,0 +1,163 @@
+package diff
+
+import (
+	"bytes"
+
+	"ipdelta/internal/delta"
+)
+
+// Linear is the linear-time, constant-space differencer. A fixed-size table
+// maps Karp–Rabin fingerprints of reference seeds (p-byte substrings) to
+// their first occurrence; the version file is scanned left to right, and a
+// fingerprint hit that verifies byte-wise is extended forward as far as the
+// files agree and backward into any still-unmatched literal bytes.
+//
+// Time is O(L_R + L_V); space is the fixed table regardless of input size,
+// matching the O(1)-space claim the paper cites for its delta generator.
+type Linear struct {
+	seedLen   int
+	tableBits uint
+}
+
+// LinearOption customizes a Linear differencer.
+type LinearOption func(*Linear)
+
+// WithSeedLen sets the seed (minimum match) length; shorter seeds find more
+// matches but emit smaller copies. The default is 16; the minimum 4.
+func WithSeedLen(p int) LinearOption {
+	return func(l *Linear) {
+		if p < 4 {
+			p = 4
+		}
+		l.seedLen = p
+	}
+}
+
+// WithTableBits sets the fingerprint table size to 2^bits entries
+// (default 18, i.e. 256Ki entries).
+func WithTableBits(bits uint) LinearOption {
+	return func(l *Linear) {
+		if bits < 8 {
+			bits = 8
+		}
+		if bits > 26 {
+			bits = 26
+		}
+		l.tableBits = bits
+	}
+}
+
+// NewLinear returns a linear differencer with the given options applied.
+func NewLinear(opts ...LinearOption) *Linear {
+	l := &Linear{seedLen: 16, tableBits: 18}
+	for _, o := range opts {
+		o(l)
+	}
+	return l
+}
+
+// Name implements Algorithm.
+func (l *Linear) Name() string { return "linear" }
+
+// krBase is the Karp–Rabin multiplier; arithmetic is modulo 2^64.
+const krBase = 0x100000001b3 // the FNV prime, a fine odd multiplier
+
+// krHasher computes rolling hashes of p-byte windows.
+type krHasher struct {
+	p    int
+	pow  uint64 // krBase^(p-1)
+	hash uint64
+}
+
+func newKRHasher(p int) *krHasher {
+	pow := uint64(1)
+	for k := 0; k < p-1; k++ {
+		pow *= krBase
+	}
+	return &krHasher{p: p, pow: pow}
+}
+
+// init computes the hash of window b (len must be p).
+func (h *krHasher) init(b []byte) uint64 {
+	h.hash = 0
+	for _, c := range b {
+		h.hash = h.hash*krBase + uint64(c)
+	}
+	return h.hash
+}
+
+// roll slides the window one byte: drop out, take in.
+func (h *krHasher) roll(out, in byte) uint64 {
+	h.hash = (h.hash-uint64(out)*h.pow)*krBase + uint64(in)
+	return h.hash
+}
+
+// Diff implements Algorithm.
+func (l *Linear) Diff(ref, version []byte) (*delta.Delta, error) {
+	d := &delta.Delta{RefLen: int64(len(ref)), VersionLen: int64(len(version))}
+	if len(version) == 0 {
+		return d, nil
+	}
+	p := l.seedLen
+	if len(ref) < p || len(version) < p {
+		// Too short to seed any match: emit the version as a single add.
+		return Null{}.Diff(ref, version)
+	}
+
+	// Index the reference: table[h] holds 1 + offset of the first seed
+	// whose fingerprint maps to bucket h (0 means empty).
+	mask := (uint64(1) << l.tableBits) - 1
+	table := make([]int32, uint64(1)<<l.tableBits)
+	rh := newKRHasher(p)
+	rh.init(ref[:p])
+	for r := 0; ; r++ {
+		b := rh.hash & mask
+		if table[b] == 0 {
+			table[b] = int32(r) + 1
+		}
+		if r+p >= len(ref) {
+			break
+		}
+		rh.roll(ref[r], ref[r+p])
+	}
+
+	// Scan the version.
+	e := &emitter{}
+	vh := newKRHasher(p)
+	vh.init(version[:p])
+	v := 0
+	lit := 0 // start of the current unmatched literal run
+	for {
+		b := vh.hash & mask
+		matched := false
+		if table[b] != 0 {
+			r := int(table[b]) - 1
+			// Verify: fingerprints collide, bytes decide.
+			if bytes.Equal(ref[r:r+p], version[v:v+p]) {
+				fwd := p + matchForward(ref, version, r+p, v+p)
+				back := matchBackward(ref, version, r, v, v-lit)
+				// Emit literals preceding the (extended) match.
+				e.literal(version[lit : v-back])
+				e.copyCmd(int64(r-back), int64(fwd+back))
+				v += fwd
+				lit = v
+				matched = true
+			}
+		}
+		if matched {
+			if v+p > len(version) {
+				break
+			}
+			vh.init(version[v : v+p])
+			continue
+		}
+		if v+p >= len(version) {
+			break
+		}
+		vh.roll(version[v], version[v+p])
+		v++
+	}
+	e.literal(version[lit:])
+	d.Commands = e.finish()
+	return d, nil
+}

@@ -1,0 +1,122 @@
+package diff
+
+import (
+	"index/suffixarray"
+
+	"ipdelta/internal/delta"
+)
+
+// Suffix is a differencer built on a suffix array of the reference
+// (index/suffixarray): at every version offset it finds a longest match in
+// the reference by binary-searching progressively longer prefixes. It
+// approaches the optimal copy cover (the string-to-string correction
+// ideal the paper's related work formalizes) at the cost of O(L_R) index
+// memory and higher constant factors — the upper end of the
+// compression/cost spectrum, opposite the blockwise differencer.
+type Suffix struct {
+	minMatch int
+}
+
+// SuffixOption customizes a Suffix differencer.
+type SuffixOption func(*Suffix)
+
+// WithMinMatch sets the smallest copy worth emitting (default 8, minimum
+// 4): shorter matches cost more to encode than to carry as literals.
+func WithMinMatch(n int) SuffixOption {
+	return func(s *Suffix) {
+		if n < 4 {
+			n = 4
+		}
+		s.minMatch = n
+	}
+}
+
+// NewSuffix returns a suffix-array differencer.
+func NewSuffix(opts ...SuffixOption) *Suffix {
+	s := &Suffix{minMatch: 8}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Name implements Algorithm.
+func (s *Suffix) Name() string { return "suffix" }
+
+// Diff implements Algorithm.
+func (s *Suffix) Diff(ref, version []byte) (*delta.Delta, error) {
+	d := &delta.Delta{RefLen: int64(len(ref)), VersionLen: int64(len(version))}
+	if len(version) == 0 {
+		return d, nil
+	}
+	if len(ref) < s.minMatch || len(version) < s.minMatch {
+		return Null{}.Diff(ref, version)
+	}
+	idx := suffixarray.New(ref)
+
+	e := &emitter{}
+	v := 0
+	lit := 0
+	for v+s.minMatch <= len(version) {
+		from, n := longestMatch(idx, ref, version[v:], s.minMatch)
+		if n < s.minMatch {
+			v++
+			continue
+		}
+		e.literal(version[lit:v])
+		e.copyCmd(int64(from), int64(n))
+		v += n
+		lit = v
+	}
+	e.literal(version[lit:])
+	d.Commands = e.finish()
+	return d, nil
+}
+
+// longestMatch finds the longest prefix of pat occurring in ref, by
+// doubling then binary-searching the match length using the suffix array's
+// Lookup. Returns the reference offset and length (0 if below minMatch).
+func longestMatch(idx *suffixarray.Index, ref, pat []byte, minMatch int) (int, int) {
+	if len(pat) < minMatch {
+		return 0, 0
+	}
+	// Must match at least minMatch to be interesting.
+	results := idx.Lookup(pat[:minMatch], 1)
+	if len(results) == 0 {
+		return 0, 0
+	}
+	// Exponentially grow the confirmed length, keeping one witness offset.
+	best := results[0]
+	lo := minMatch // confirmed length
+	hi := lo * 2
+	for hi <= len(pat) {
+		r := idx.Lookup(pat[:hi], 1)
+		if len(r) == 0 {
+			break
+		}
+		best = r[0]
+		lo = hi
+		hi *= 2
+	}
+	if hi > len(pat) {
+		hi = len(pat) + 1
+	}
+	// Binary search in (lo, hi).
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		r := idx.Lookup(pat[:mid], 1)
+		if len(r) == 0 {
+			hi = mid
+		} else {
+			best = r[0]
+			lo = mid
+		}
+	}
+	// Greedily extend beyond the indexed match (Lookup found an occurrence
+	// of pat[:lo]; the actual common run may continue).
+	n := lo
+	for best+n < len(ref) && n < len(pat) && ref[best+n] == pat[n] {
+		n++
+	}
+	return best, n
+}

@@ -1,0 +1,115 @@
+package diff
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSuffixByName(t *testing.T) {
+	a, err := ByName("suffix")
+	if err != nil || a.Name() != "suffix" {
+		t.Fatalf("ByName: %v, %v", a, err)
+	}
+}
+
+func TestSuffixRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ref := make([]byte, 32<<10)
+	rng.Read(ref)
+	version := mutate(rng, ref, 12)
+	roundTrip(t, NewSuffix(), ref, version)
+}
+
+func TestSuffixIdenticalFiles(t *testing.T) {
+	data := make([]byte, 16<<10)
+	rand.New(rand.NewSource(22)).Read(data)
+	d := roundTrip(t, NewSuffix(), data, data)
+	if d.AddedBytes() != 0 {
+		t.Fatalf("identical files added %d bytes", d.AddedBytes())
+	}
+	if d.NumCopies() != 1 {
+		t.Fatalf("identical files encoded as %d copies, want 1", d.NumCopies())
+	}
+}
+
+func TestSuffixCompressionAtLeastLinear(t *testing.T) {
+	// The suffix differencer finds true longest matches, so it never adds
+	// more literal bytes than the seeded linear algorithm on inputs where
+	// both can work. Allow a tiny slack for boundary effects.
+	rng := rand.New(rand.NewSource(23))
+	ref := make([]byte, 32<<10)
+	rng.Read(ref)
+	version := mutate(rng, ref, 20)
+	ds := roundTrip(t, NewSuffix(), ref, version)
+	dl := roundTrip(t, NewLinear(), ref, version)
+	if ds.AddedBytes() > dl.AddedBytes()+int64(len(version)/100) {
+		t.Fatalf("suffix added %d, linear %d", ds.AddedBytes(), dl.AddedBytes())
+	}
+}
+
+func TestSuffixFindsShortUnalignedMatches(t *testing.T) {
+	// A match linear's 16-byte seed misses: 9 bytes long.
+	ref := append(bytes.Repeat([]byte{0xEE}, 64), []byte("landmark!")...)
+	ref = append(ref, bytes.Repeat([]byte{0xDD}, 64)...)
+	version := append(bytes.Repeat([]byte{0x11}, 32), []byte("landmark!")...)
+	version = append(version, bytes.Repeat([]byte{0x22}, 32)...)
+	d := roundTrip(t, NewSuffix(), ref, version)
+	if d.NumCopies() == 0 {
+		t.Fatal("suffix missed the 9-byte match")
+	}
+}
+
+func TestSuffixOptions(t *testing.T) {
+	s := NewSuffix(WithMinMatch(2))
+	if s.minMatch != 4 {
+		t.Fatalf("min match clamped to %d, want 4", s.minMatch)
+	}
+	s = NewSuffix(WithMinMatch(32))
+	if s.minMatch != 32 {
+		t.Fatalf("min match = %d", s.minMatch)
+	}
+	rng := rand.New(rand.NewSource(24))
+	ref := make([]byte, 4096)
+	rng.Read(ref)
+	roundTrip(t, s, ref, mutate(rng, ref, 4))
+}
+
+func TestSuffixEmptyAndTiny(t *testing.T) {
+	roundTrip(t, NewSuffix(), nil, nil)
+	roundTrip(t, NewSuffix(), []byte("abc"), []byte("xyz"))
+	roundTrip(t, NewSuffix(), make([]byte, 4096), nil)
+}
+
+func TestSuffixQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ref := make([]byte, rng.Intn(8<<10)+16)
+		if seed%2 == 0 {
+			chunk := make([]byte, 50)
+			rng.Read(chunk)
+			for at := 0; at < len(ref); at += 50 {
+				copy(ref[at:], chunk)
+			}
+		} else {
+			rng.Read(ref)
+		}
+		version := mutate(rng, ref, rng.Intn(8))
+		d, err := NewSuffix().Diff(ref, version)
+		if err != nil {
+			return false
+		}
+		if d.Validate() != nil {
+			return false
+		}
+		got, err := d.Apply(ref)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, version)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ipdelta/internal/codec"
+	"ipdelta/internal/corpus"
+	"ipdelta/internal/diff"
+	"ipdelta/internal/inplace"
+	"ipdelta/internal/stats"
+)
+
+// AlgorithmRow is one differencer in the algorithm ablation.
+type AlgorithmRow struct {
+	Name string
+	// Compression is total delta bytes / total version bytes (ordered
+	// format).
+	Compression float64
+	// InPlaceCompression is the same after in-place conversion (compact
+	// format).
+	InPlaceCompression float64
+	// Time is the total differencing time over the corpus.
+	Time time.Duration
+	// Commands counts emitted commands (fragmentation proxy).
+	Commands int
+}
+
+// AlgorithmResult is the E10 ablation: the related-work spectrum of
+// differencing algorithms — byte-granular linear (the paper's [1,5]),
+// byte-granular greedy ([11]), block-granular (rsync-style), and a
+// suffix-array longest-match differencer — feeding
+// the same in-place converter.
+type AlgorithmResult struct {
+	Rows         []AlgorithmRow
+	VersionBytes int64
+}
+
+// RunAlgorithms measures each differencer over the corpus.
+func RunAlgorithms(pairs []corpus.Pair) (*AlgorithmResult, error) {
+	algos := []diff.Algorithm{
+		diff.NewLinear(),
+		diff.NewGreedy(),
+		diff.NewBlockwise(),
+		diff.NewSuffix(),
+		diff.NewCorrecting(diff.NewLinear()),
+	}
+	res := &AlgorithmResult{}
+	for _, p := range pairs {
+		res.VersionBytes += int64(len(p.Version))
+	}
+	for _, a := range algos {
+		row := AlgorithmRow{Name: a.Name()}
+		var plain, ip int64
+		for _, p := range pairs {
+			start := time.Now()
+			d, err := a.Diff(p.Ref, p.Version)
+			if err != nil {
+				return nil, fmt.Errorf("algorithms %s on %s: %w", a.Name(), p.Name, err)
+			}
+			row.Time += time.Since(start)
+			row.Commands += len(d.Commands)
+			n, err := codec.EncodedSize(d, codec.FormatOrdered)
+			if err != nil {
+				return nil, err
+			}
+			plain += n
+			conv, _, err := inplace.Convert(d, p.Ref)
+			if err != nil {
+				return nil, err
+			}
+			m, err := codec.EncodedSize(conv, codec.FormatCompact)
+			if err != nil {
+				return nil, err
+			}
+			ip += m
+		}
+		row.Compression = float64(plain) / float64(res.VersionBytes)
+		row.InPlaceCompression = float64(ip) / float64(res.VersionBytes)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the algorithm ablation.
+func (r *AlgorithmResult) Render(w io.Writer) error {
+	t := stats.Table{
+		Title:   "E10 — differencing algorithm ablation (same converter, same corpus)",
+		Headers: []string{"algorithm", "compression", "in-place compression", "commands", "diff time"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(
+			row.Name,
+			stats.Pct(row.Compression),
+			stats.Pct(row.InPlaceCompression),
+			fmt.Sprintf("%d", row.Commands),
+			row.Time.Round(time.Microsecond).String(),
+		)
+	}
+	return t.Render(w)
+}

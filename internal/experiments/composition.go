@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ipdelta/internal/codec"
+	"ipdelta/internal/corpus"
+	"ipdelta/internal/diff"
+	"ipdelta/internal/graph"
+	"ipdelta/internal/inplace"
+	"ipdelta/internal/stats"
+	"ipdelta/internal/store"
+)
+
+// CompositionRow compares a composed chain delta against a direct diff for
+// one chain length.
+type CompositionRow struct {
+	HopCount int
+	// DirectBytes is the encoded size of a fresh diff old→new.
+	DirectBytes int64
+	// ComposedBytes is the encoded size of the composed chain delta.
+	ComposedBytes int64
+	// Overhead = composed/direct.
+	Overhead float64
+	// InPlaceOK records that the composed delta converted and applied in
+	// place correctly.
+	InPlaceOK bool
+}
+
+// CompositionResult is the E9 experiment (beyond the paper, from the same
+// research line): an update server storing a release history as a delta
+// chain can serve any device a single composed delta without materializing
+// intermediate versions. The question is how much compression composition
+// sacrifices versus diffing the endpoints directly.
+type CompositionResult struct {
+	Rows []CompositionRow
+}
+
+// RunComposition builds a release chain and compares composed deltas with
+// direct diffs across increasing hop counts.
+func RunComposition(base corpus.Pair, hops int) (*CompositionResult, error) {
+	s := store.New(base.Ref)
+	versions := [][]byte{base.Ref}
+	cur := base.Ref
+	for k := 0; k < hops; k++ {
+		next := corpus.Generate(corpus.PairSpec{
+			Profile:    base.Spec.Profile,
+			Size:       len(cur),
+			ChangeRate: 0.05,
+			Seed:       base.Spec.Seed + int64(k) + 1,
+		})
+		v := append([]byte(nil), cur...)
+		// Each release touches a different region so the chain's changes
+		// accumulate instead of overwriting each other.
+		splice := len(v) / 8
+		at := (k * splice * 2) % (len(v) - splice)
+		copy(v[at:at+splice], next.Version[:splice])
+		// Also rotate the file by a small amount: block moves make later
+		// deltas copy through earlier ones, exercising fragmentation in
+		// the composition.
+		rot := 1024 + 256*k
+		v = append(v[rot:], v[:rot]...)
+		if _, err := s.AppendVersion(v); err != nil {
+			return nil, err
+		}
+		versions = append(versions, v)
+		cur = v
+	}
+
+	res := &CompositionResult{}
+	for hop := 1; hop <= hops; hop++ {
+		head := versions[hop]
+		// Direct diff 0→hop.
+		direct, err := diff.NewLinear().Diff(versions[0], head)
+		if err != nil {
+			return nil, err
+		}
+		directBytes, err := codec.EncodedSize(direct, codec.FormatOrdered)
+		if err != nil {
+			return nil, err
+		}
+		// Composed 0→hop from the chain.
+		composed, err := s.DeltaBetween(0, hop)
+		if err != nil {
+			return nil, err
+		}
+		composedBytes, err := codec.EncodedSize(composed, codec.FormatOrdered)
+		if err != nil {
+			return nil, err
+		}
+		row := CompositionRow{
+			HopCount:      hop,
+			DirectBytes:   directBytes,
+			ComposedBytes: composedBytes,
+			Overhead:      float64(composedBytes) / float64(directBytes),
+		}
+		// Convert the composed delta for in-place application and check it.
+		ip, _, err := inplace.Convert(composed, versions[0], inplace.WithPolicy(graph.LocallyMinimum{}))
+		if err != nil {
+			return nil, fmt.Errorf("composition hop %d: in-place conversion failed: %w", hop, err)
+		}
+		row.InPlaceOK = ip.CheckInPlace() == nil
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the composition experiment.
+func (r *CompositionResult) Render(w io.Writer) error {
+	t := stats.Table{
+		Title:   "E9 — composed chain delta vs direct diff (delta-chain update server)",
+		Headers: []string{"hops", "direct diff", "composed", "overhead"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(
+			fmt.Sprintf("%d", row.HopCount),
+			stats.Bytes(row.DirectBytes),
+			stats.Bytes(row.ComposedBytes),
+			fmt.Sprintf("%.2f×", row.Overhead),
+		)
+	}
+	return t.Render(w)
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"ipdelta/internal/corpus"
+	"ipdelta/internal/fleet"
+	"ipdelta/internal/stats"
+)
+
+// FleetRow is one distribution mode in the fleet rollout experiment.
+type FleetRow struct {
+	Mode        fleet.Mode
+	BytesOnWire int64
+	Makespan    time.Duration
+	Fallbacks   int
+}
+
+// FleetResult is the E11 experiment: rolling one release out to a mixed
+// fleet of limited-storage devices over a shared low-bandwidth channel,
+// under each distribution mode. It quantifies the paper's deployment
+// argument end to end: in-place deltas get delta-sized traffic without the
+// two-copy storage requirement that forces fallbacks.
+type FleetResult struct {
+	Devices int
+	Link    int64
+	Rows    []FleetRow
+}
+
+// RunFleet builds a release history and a mixed fleet, then simulates all
+// three modes.
+func RunFleet(imageSize, releases, devices int, linkBPS int64, seed int64) (*FleetResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	base := corpus.Generate(corpus.PairSpec{Profile: corpus.Firmware, Size: imageSize, ChangeRate: 0, Seed: seed})
+	history := [][]byte{base.Ref}
+	cur := base.Ref
+	for k := 1; k < releases; k++ {
+		gen := corpus.Generate(corpus.PairSpec{Profile: corpus.Firmware, Size: len(cur), ChangeRate: 0.05, Seed: seed + int64(k)})
+		v := append([]byte(nil), cur...)
+		splice := len(v) / 8
+		at := (k * 2 * splice) % (len(v) - splice)
+		copy(v[at:at+splice], gen.Version[:splice])
+		history = append(history, v)
+		cur = v
+	}
+	specs := make([]fleet.DeviceSpec, devices)
+	for k := range specs {
+		specs[k] = fleet.DeviceSpec{
+			Release: rng.Intn(releases),
+			// Most devices are storage-tight; a minority has 2x flash.
+			CapacitySlack: 0.05,
+		}
+		if rng.Intn(5) == 0 {
+			specs[k].CapacitySlack = 1.2
+		}
+	}
+	cfg := fleet.Config{Releases: history, Devices: specs, LinkBitsPerSecond: linkBPS}
+	res := &FleetResult{Devices: devices, Link: linkBPS}
+	for _, mode := range []fleet.Mode{fleet.ModeFull, fleet.ModeDeltaScratch, fleet.ModeDeltaInPlace} {
+		o, err := fleet.Simulate(cfg, mode)
+		if err != nil {
+			return nil, fmt.Errorf("fleet %v: %w", mode, err)
+		}
+		res.Rows = append(res.Rows, FleetRow{
+			Mode:        mode,
+			BytesOnWire: o.BytesOnWire,
+			Makespan:    o.Makespan,
+			Fallbacks:   o.Fallbacks,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the rollout comparison.
+func (r *FleetResult) Render(w io.Writer) error {
+	t := stats.Table{
+		Title: fmt.Sprintf("E11 — fleet rollout: %d devices over a shared %s link",
+			r.Devices, rateName(r.Link)),
+		Headers: []string{"mode", "bytes on wire", "makespan", "full-image fallbacks"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(
+			row.Mode.String(),
+			stats.Bytes(row.BytesOnWire),
+			roundDur(row.Makespan),
+			fmt.Sprintf("%d", row.Fallbacks),
+		)
+	}
+	return t.Render(w)
+}

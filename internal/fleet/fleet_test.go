@@ -1,0 +1,111 @@
+package fleet
+
+import (
+	"testing"
+
+	"ipdelta/internal/corpus"
+)
+
+// testConfig builds a 3-release history and a mixed fleet.
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	base := corpus.Generate(corpus.PairSpec{Profile: corpus.Firmware, Size: 32 << 10, ChangeRate: 0, Seed: 21})
+	releases := [][]byte{base.Ref}
+	cur := base.Ref
+	for k := 1; k < 3; k++ {
+		gen := corpus.Generate(corpus.PairSpec{Profile: corpus.Firmware, Size: len(cur), ChangeRate: 0.05, Seed: 21 + int64(k)})
+		v := append([]byte(nil), cur...)
+		splice := len(v) / 8
+		at := k * 2 * splice % (len(v) - splice)
+		copy(v[at:at+splice], gen.Version[:splice])
+		releases = append(releases, v)
+		cur = v
+	}
+	devices := []DeviceSpec{
+		{Release: 0, CapacitySlack: 0.05}, // tight flash, old release
+		{Release: 0, CapacitySlack: 1.50}, // roomy flash (can scratch-apply)
+		{Release: 1, CapacitySlack: 0.05},
+		{Release: 1, CapacitySlack: 0.05},
+		{Release: 2, CapacitySlack: 0.05}, // already current
+	}
+	return Config{Releases: releases, Devices: devices, LinkBitsPerSecond: 256_000}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeFull.String() != "full-image" ||
+		ModeDeltaScratch.String() != "delta-scratch" ||
+		ModeDeltaInPlace.String() != "delta-in-place" {
+		t.Fatal("mode names wrong")
+	}
+	if Mode(9).String() != "mode(9)" {
+		t.Fatal("unknown mode name wrong")
+	}
+}
+
+func TestSimulateModes(t *testing.T) {
+	cfg := testConfig(t)
+	full, err := Simulate(cfg, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := Simulate(cfg, ModeDeltaScratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := Simulate(cfg, ModeDeltaInPlace)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if full.Updated != len(cfg.Devices) || scratch.Updated != len(cfg.Devices) || ip.Updated != len(cfg.Devices) {
+		t.Fatal("not every device updated")
+	}
+	// The paper's story: in-place ships the fewest bytes; scratch deltas
+	// help only devices with ~2x flash; full ships the most.
+	if !(ip.BytesOnWire < scratch.BytesOnWire && scratch.BytesOnWire < full.BytesOnWire) {
+		t.Fatalf("byte ordering wrong: inplace=%d scratch=%d full=%d",
+			ip.BytesOnWire, scratch.BytesOnWire, full.BytesOnWire)
+	}
+	// Tight-flash devices forced fallbacks in scratch mode but not in-place.
+	if scratch.Fallbacks == 0 {
+		t.Fatal("expected scratch-mode fallbacks on tight-flash devices")
+	}
+	if ip.Fallbacks != 0 {
+		t.Fatalf("in-place mode had %d fallbacks", ip.Fallbacks)
+	}
+	// Makespans follow bytes on the shared link.
+	if !(ip.Makespan < scratch.Makespan && scratch.Makespan < full.Makespan) {
+		t.Fatal("makespan ordering wrong")
+	}
+	if full.Fallbacks != 0 {
+		t.Fatal("full mode cannot fall back")
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	if _, err := Simulate(Config{}, ModeFull); err == nil {
+		t.Fatal("empty release history accepted")
+	}
+	cfg := testConfig(t)
+	cfg.Devices = []DeviceSpec{{Release: 9}}
+	if _, err := Simulate(cfg, ModeFull); err == nil {
+		t.Fatal("unknown release accepted")
+	}
+	cfg = testConfig(t)
+	if _, err := Simulate(cfg, Mode(9)); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestSimulateUpToDateDeviceCostsLittleInPlace(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Devices = []DeviceSpec{{Release: 2, CapacitySlack: 0.01}} // current
+	ip, err := Simulate(cfg, ModeDeltaInPlace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identity delta is nearly free compared with the image size.
+	if ip.BytesOnWire > int64(len(cfg.Releases[2]))/10 {
+		t.Fatalf("identity update cost %d bytes", ip.BytesOnWire)
+	}
+}

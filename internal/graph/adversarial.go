@@ -1,0 +1,52 @@
+package graph
+
+// AdversarialTree builds the Figure 2 digraph of the paper: a complete
+// binary tree of the given depth with edges from each parent to its
+// children, plus a directed edge from every leaf back to the root. Every
+// root-to-leaf path closes a distinct cycle through the root.
+//
+// Vertex 0 is the root; vertices are numbered heap-style (children of v are
+// 2v+1 and 2v+2). Depth 1 means a root with two leaf children.
+//
+// The cost function makes each leaf the cheapest vertex on its own cycle
+// while the root is barely more expensive than a single leaf: the
+// locally-minimum policy deletes every leaf (total cost ≈ leaves×leafCost)
+// where deleting just the root (rootCost) breaks all cycles at once —
+// the paper's example of locally-minimum being arbitrarily worse than the
+// global optimum.
+func AdversarialTree(depth int, leafCost, rootCost, innerCost int64) (*Digraph, CostFunc) {
+	if depth < 1 {
+		depth = 1
+	}
+	n := (1 << (depth + 1)) - 1
+	firstLeaf := (1 << depth) - 1
+	g := New(n)
+	for v := 0; v < firstLeaf; v++ {
+		g.AddEdge(v, 2*v+1)
+		g.AddEdge(v, 2*v+2)
+	}
+	for v := firstLeaf; v < n; v++ {
+		g.AddEdge(v, 0)
+	}
+	costs := make([]int64, n)
+	for v := range costs {
+		switch {
+		case v == 0:
+			costs[v] = rootCost
+		case v >= firstLeaf:
+			costs[v] = leafCost
+		default:
+			costs[v] = innerCost
+		}
+	}
+	return g, func(v int) int64 { return costs[v] }
+}
+
+// NumLeaves returns the number of leaves of the Figure 2 tree of the given
+// depth.
+func NumLeaves(depth int) int {
+	if depth < 1 {
+		depth = 1
+	}
+	return 1 << depth
+}

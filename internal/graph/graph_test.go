@@ -1,0 +1,399 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDigraphBasics(t *testing.T) {
+	g := New(4)
+	if g.NumVertices() != 4 || g.NumEdges() != 0 {
+		t.Fatal("fresh digraph wrong size")
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 1) // parallel edges are allowed and counted
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges() = %d, want 3", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) || g.HasEdge(2, 3) {
+		t.Fatal("HasEdge gave wrong answers")
+	}
+	if len(g.Succ(0)) != 2 || g.Succ(0)[0] != 1 {
+		t.Fatalf("Succ(0) = %v", g.Succ(0))
+	}
+}
+
+func TestAddEdgePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2).AddEdge(0, 5)
+}
+
+func TestTranspose(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	tr := g.Transpose()
+	if !tr.HasEdge(1, 0) || !tr.HasEdge(2, 1) || tr.HasEdge(0, 1) {
+		t.Fatal("Transpose wrong")
+	}
+	if tr.NumEdges() != 2 {
+		t.Fatalf("NumEdges() = %d", tr.NumEdges())
+	}
+}
+
+func TestIsAcyclic(t *testing.T) {
+	dag := New(4)
+	dag.AddEdge(0, 1)
+	dag.AddEdge(1, 2)
+	dag.AddEdge(0, 2)
+	dag.AddEdge(2, 3)
+	if !dag.IsAcyclicWithout(nil) {
+		t.Fatal("DAG reported cyclic")
+	}
+	cyc := New(3)
+	cyc.AddEdge(0, 1)
+	cyc.AddEdge(1, 2)
+	cyc.AddEdge(2, 0)
+	if cyc.IsAcyclicWithout(nil) {
+		t.Fatal("cycle reported acyclic")
+	}
+	// Removing vertex 1 breaks the cycle.
+	if !cyc.IsAcyclicWithout([]bool{false, true, false}) {
+		t.Fatal("removal not honored")
+	}
+}
+
+func TestTopoSortDAG(t *testing.T) {
+	g := New(6)
+	g.AddEdge(5, 2)
+	g.AddEdge(5, 0)
+	g.AddEdge(4, 0)
+	g.AddEdge(4, 1)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 1)
+	res := TopoSort(g, UnitCost, ConstantTime{})
+	if len(res.Removed) != 0 || res.CyclesBroken != 0 {
+		t.Fatalf("DAG should need no removals: %+v", res)
+	}
+	if len(res.Order) != 6 {
+		t.Fatalf("Order has %d vertices", len(res.Order))
+	}
+	if !VerifyTopological(g, res) {
+		t.Fatalf("order %v violates edges", res.Order)
+	}
+}
+
+func TestTopoSortSimpleCycle(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	for _, p := range []Policy{ConstantTime{}, LocallyMinimum{}} {
+		res := TopoSort(g, UnitCost, p)
+		if res.CyclesBroken != 1 || len(res.Removed) != 1 {
+			t.Fatalf("%s: %+v", p.Name(), res)
+		}
+		if !VerifyTopological(g, res) {
+			t.Fatalf("%s: invalid result", p.Name())
+		}
+	}
+}
+
+func TestTopoSortSelfContainedCostAccounting(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	costs := []int64{10, 1, 5}
+	cost := func(v int) int64 { return costs[v] }
+
+	res := TopoSort(g, cost, LocallyMinimum{})
+	if len(res.Removed) != 1 || res.Removed[0] != 1 {
+		t.Fatalf("locally-minimum removed %v, want vertex 1", res.Removed)
+	}
+	if res.RemovedCost != 1 {
+		t.Fatalf("RemovedCost = %d", res.RemovedCost)
+	}
+	if res.CycleVertices != 3 {
+		t.Fatalf("CycleVertices = %d, want 3", res.CycleVertices)
+	}
+}
+
+func TestTopoSortConstantTimeRemovesDetectionPoint(t *testing.T) {
+	// 0→1→2→0: DFS from 0 detects the cycle at vertex 2 (edge 2→0), so the
+	// constant-time policy must delete vertex 2.
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	res := TopoSort(g, UnitCost, ConstantTime{})
+	if len(res.Removed) != 1 || res.Removed[0] != 2 {
+		t.Fatalf("constant-time removed %v, want vertex 2", res.Removed)
+	}
+}
+
+func TestTopoSortTwoIndependentCycles(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 2)
+	res := TopoSort(g, UnitCost, ConstantTime{})
+	if res.CyclesBroken != 2 || len(res.Removed) != 2 {
+		t.Fatalf("%+v", res)
+	}
+	if !VerifyTopological(g, res) {
+		t.Fatal("invalid result")
+	}
+}
+
+func TestTopoSortNestedCycles(t *testing.T) {
+	// Figure-eight: two cycles sharing vertex 0. Deleting 0 breaks both.
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 0)
+	costs := []int64{1, 100, 100}
+	res := TopoSort(g, func(v int) int64 { return costs[v] }, LocallyMinimum{})
+	if !VerifyTopological(g, res) {
+		t.Fatal("invalid result")
+	}
+	if len(res.Removed) != 1 || res.Removed[0] != 0 {
+		t.Fatalf("removed %v, want just the shared vertex 0", res.Removed)
+	}
+}
+
+func TestAdversarialTreeShape(t *testing.T) {
+	depth := 3
+	g, cost := AdversarialTree(depth, 5, 6, 50)
+	n := g.NumVertices()
+	if n != 15 {
+		t.Fatalf("vertices = %d, want 15", n)
+	}
+	if NumLeaves(depth) != 8 {
+		t.Fatalf("NumLeaves = %d", NumLeaves(depth))
+	}
+	// 2 edges per internal vertex + 1 per leaf.
+	if g.NumEdges() != 7*2+8 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	if cost(0) != 6 || cost(7) != 5 || cost(1) != 50 {
+		t.Fatal("cost assignment wrong")
+	}
+	if g.IsAcyclicWithout(nil) {
+		t.Fatal("tree with back edges must be cyclic")
+	}
+	// Depth below 1 is clamped.
+	g2, _ := AdversarialTree(0, 1, 1, 1)
+	if g2.NumVertices() != 3 {
+		t.Fatalf("clamped tree has %d vertices", g2.NumVertices())
+	}
+}
+
+func TestAdversarialTreePolicyGap(t *testing.T) {
+	// The paper's Figure 2 claim: locally-minimum deletes every leaf while
+	// deleting the root alone is optimal.
+	depth := 4
+	leaves := NumLeaves(depth)
+	g, cost := AdversarialTree(depth, 10, 11, 1000)
+
+	lm := TopoSort(g, cost, LocallyMinimum{})
+	if !VerifyTopological(g, lm) {
+		t.Fatal("invalid LM result")
+	}
+	if len(lm.Removed) != leaves {
+		t.Fatalf("locally-minimum removed %d vertices, want %d leaves", len(lm.Removed), leaves)
+	}
+	if lm.RemovedCost != int64(leaves)*10 {
+		t.Fatalf("LM cost = %d", lm.RemovedCost)
+	}
+
+	opt, optCost, err := MinFeedbackVertexSet(g, cost, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt) != 1 || opt[0] != 0 || optCost != 11 {
+		t.Fatalf("optimal = %v cost %d, want root at cost 11", opt, optCost)
+	}
+	if lm.RemovedCost <= optCost {
+		t.Fatal("adversarial example must make LM strictly worse than optimal")
+	}
+}
+
+func TestMinFeedbackVertexSet(t *testing.T) {
+	t.Run("acyclic needs nothing", func(t *testing.T) {
+		g := New(3)
+		g.AddEdge(0, 1)
+		g.AddEdge(1, 2)
+		set, cost, err := MinFeedbackVertexSet(g, UnitCost, 10)
+		if err != nil || len(set) != 0 || cost != 0 {
+			t.Fatalf("set=%v cost=%d err=%v", set, cost, err)
+		}
+	})
+	t.Run("single cycle removes cheapest", func(t *testing.T) {
+		g := New(3)
+		g.AddEdge(0, 1)
+		g.AddEdge(1, 2)
+		g.AddEdge(2, 0)
+		costs := []int64{5, 2, 9}
+		set, cost, err := MinFeedbackVertexSet(g, func(v int) int64 { return costs[v] }, 10)
+		if err != nil || len(set) != 1 || set[0] != 1 || cost != 2 {
+			t.Fatalf("set=%v cost=%d err=%v", set, cost, err)
+		}
+	})
+	t.Run("size limit enforced", func(t *testing.T) {
+		g := New(30)
+		if _, _, err := MinFeedbackVertexSet(g, UnitCost, 10); err == nil {
+			t.Fatal("expected ErrTooLarge")
+		}
+	})
+}
+
+// randomDigraph builds a digraph with n vertices and roughly density*n*n
+// edges, no self-loops.
+func randomDigraph(rng *rand.Rand, n int, density float64) *Digraph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && rng.Float64() < density {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+func TestQuickTopoSortValidOnRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(40) + 2
+		g := randomDigraph(rng, n, rng.Float64()*0.2)
+		costs := make([]int64, n)
+		for k := range costs {
+			costs[k] = rng.Int63n(100) + 1
+		}
+		cost := func(v int) int64 { return costs[v] }
+		for _, p := range []Policy{ConstantTime{}, LocallyMinimum{}} {
+			res := TopoSort(g, cost, p)
+			if !VerifyTopological(g, res) {
+				return false
+			}
+			// The removed set must actually break all cycles.
+			removed := make([]bool, n)
+			for _, v := range res.Removed {
+				removed[v] = true
+			}
+			if !g.IsAcyclicWithout(removed) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickOptimalNeverWorseThanPolicies(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(9) + 2
+		g := randomDigraph(rng, n, 0.25)
+		costs := make([]int64, n)
+		for k := range costs {
+			costs[k] = rng.Int63n(50) + 1
+		}
+		cost := func(v int) int64 { return costs[v] }
+		_, optCost, err := MinFeedbackVertexSet(g, cost, 16)
+		if err != nil {
+			return false
+		}
+		// Optimal removal set must make the graph acyclic.
+		set, _, _ := MinFeedbackVertexSet(g, cost, 16)
+		removed := make([]bool, n)
+		for _, v := range set {
+			removed[v] = true
+		}
+		if !g.IsAcyclicWithout(removed) {
+			return false
+		}
+		for _, p := range []Policy{ConstantTime{}, LocallyMinimum{}} {
+			if TopoSort(g, cost, p).RemovedCost < optCost {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for _, name := range []string{"constant-time", "locally-minimum"} {
+		p, err := PolicyByName(name)
+		if err != nil || p.Name() != name {
+			t.Errorf("PolicyByName(%q) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := PolicyByName("nope"); err == nil {
+		t.Error("accepted unknown policy")
+	}
+}
+
+func TestTopoSortDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := randomDigraph(rng, 60, 0.1)
+	costs := make([]int64, 60)
+	for k := range costs {
+		costs[k] = rng.Int63n(100) + 1
+	}
+	cost := func(v int) int64 { return costs[v] }
+	first := TopoSort(g, cost, LocallyMinimum{})
+	for k := 0; k < 5; k++ {
+		again := TopoSort(g, cost, LocallyMinimum{})
+		if len(again.Order) != len(first.Order) || len(again.Removed) != len(first.Removed) {
+			t.Fatal("nondeterministic result sizes")
+		}
+		for i := range first.Order {
+			if first.Order[i] != again.Order[i] {
+				t.Fatal("nondeterministic order")
+			}
+		}
+		for i := range first.Removed {
+			if first.Removed[i] != again.Removed[i] {
+				t.Fatal("nondeterministic removals")
+			}
+		}
+	}
+}
+
+func TestTopoSortLargeStress(t *testing.T) {
+	// 20k vertices, ~100k edges: the sort must stay fast and valid.
+	rng := rand.New(rand.NewSource(100))
+	const n = 20000
+	g := New(n)
+	for k := 0; k < 5*n; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	res := TopoSort(g, UnitCost, ConstantTime{})
+	if !VerifyTopological(g, res) {
+		t.Fatal("invalid result on stress graph")
+	}
+	removed := make([]bool, n)
+	for _, v := range res.Removed {
+		removed[v] = true
+	}
+	if !g.IsAcyclicWithout(removed) {
+		t.Fatal("cycles left on stress graph")
+	}
+}

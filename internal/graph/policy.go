@@ -1,0 +1,76 @@
+package graph
+
+import "fmt"
+
+// CostFunc assigns each vertex the compression cost of deleting it. For the
+// CRWI digraphs of the paper this is cost(v) = l_v − |f_v|: the bytes of
+// data an add command must carry minus the bytes the copy encoding used.
+type CostFunc func(v int) int64
+
+// UnitCost treats every vertex as equally expensive; useful for counting
+// conversions rather than weighing them.
+func UnitCost(int) int64 { return 1 }
+
+// Policy selects which vertex of a detected cycle to delete. The cycle
+// slice lists the vertices in path order, ending at the vertex where the
+// cycle was detected (the deepest vertex of the DFS path). Policies must
+// return an element of cycle.
+type Policy interface {
+	// Name returns the policy's identifier used in reports and CLI flags.
+	Name() string
+	// SelectVictim picks the vertex of cycle to delete.
+	SelectVictim(cycle []int, cost CostFunc) int
+}
+
+// ConstantTime implements the paper's constant-time policy: delete the
+// easiest vertex based on the execution order of the topological sort — the
+// last vertex visited before the cycle was found, i.e. the final element of
+// the cycle slice. Breaking a cycle does no extra work, preserving the
+// O(1)-per-cycle bound.
+type ConstantTime struct{}
+
+// Name implements Policy.
+func (ConstantTime) Name() string { return "constant-time" }
+
+// SelectVictim implements Policy.
+func (ConstantTime) SelectVictim(cycle []int, _ CostFunc) int {
+	return cycle[len(cycle)-1]
+}
+
+// LocallyMinimum implements the paper's locally-minimum policy: loop
+// through the vertices of the cycle and delete the one with the smallest
+// cost. The extra work per cycle is proportional to the cycle length.
+type LocallyMinimum struct{}
+
+// Name implements Policy.
+func (LocallyMinimum) Name() string { return "locally-minimum" }
+
+// SelectVictim implements Policy.
+func (LocallyMinimum) SelectVictim(cycle []int, cost CostFunc) int {
+	best := cycle[0]
+	bestCost := cost(best)
+	for _, v := range cycle[1:] {
+		if c := cost(v); c < bestCost {
+			best, bestCost = v, c
+		}
+	}
+	return best
+}
+
+// PolicyByName resolves a policy identifier.
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case ConstantTime{}.Name():
+		return ConstantTime{}, nil
+	case LocallyMinimum{}.Name():
+		return LocallyMinimum{}, nil
+	default:
+		return nil, fmt.Errorf("unknown cycle-breaking policy %q", name)
+	}
+}
+
+// Verify policy interface compliance.
+var (
+	_ Policy = ConstantTime{}
+	_ Policy = LocallyMinimum{}
+)

@@ -1,0 +1,175 @@
+package graph
+
+// StronglyConnectedComponents returns the SCCs of g using an iterative
+// Tarjan algorithm. Every vertex appears in exactly one component;
+// components are returned in reverse topological order of the condensation
+// (Tarjan's natural output order). Singleton components without self-loops
+// are trivially acyclic; every cycle of g lives inside one component.
+func StronglyConnectedComponents(g *Digraph) [][]int {
+	n := g.NumVertices()
+	const unvisited = -1
+	index := make([]int32, n)
+	lowlink := make([]int32, n)
+	onStack := make([]bool, n)
+	for k := range index {
+		index[k] = unvisited
+	}
+	var (
+		counter int32
+		stack   []int32 // Tarjan stack
+		sccs    [][]int
+	)
+
+	type frame struct {
+		v    int32
+		edge int
+	}
+	var dfs []frame
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		dfs = append(dfs[:0], frame{v: int32(root)})
+		index[root] = counter
+		lowlink[root] = counter
+		counter++
+		stack = append(stack, int32(root))
+		onStack[root] = true
+		for len(dfs) > 0 {
+			top := &dfs[len(dfs)-1]
+			succ := g.Succ(int(top.v))
+			if top.edge < len(succ) {
+				w := succ[top.edge]
+				top.edge++
+				if index[w] == unvisited {
+					index[w] = counter
+					lowlink[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					dfs = append(dfs, frame{v: w})
+				} else if onStack[w] && index[w] < lowlink[top.v] {
+					lowlink[top.v] = index[w]
+				}
+				continue
+			}
+			// Finished top.v: pop an SCC if it is a root.
+			v := top.v
+			dfs = dfs[:len(dfs)-1]
+			if len(dfs) > 0 {
+				if lowlink[v] < lowlink[dfs[len(dfs)-1].v] {
+					lowlink[dfs[len(dfs)-1].v] = lowlink[v]
+				}
+			}
+			if lowlink[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, int(w))
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, comp)
+			}
+		}
+	}
+	return sccs
+}
+
+// GreedyFeedbackVertexSet computes a feedback vertex set with an SCC-scoped
+// greedy heuristic: within every non-trivial strongly connected component,
+// repeatedly delete the vertex with the best (in·out degree)/cost score
+// until the component decomposes. This is an alternative cycle-breaking
+// strategy to the paper's DFS-embedded policies, included as an ablation:
+// it sees whole components rather than one cycle at a time, at the cost of
+// repeated SCC computations.
+func GreedyFeedbackVertexSet(g *Digraph, cost CostFunc) []int {
+	removed := make([]bool, g.NumVertices())
+	var out []int
+	// Work queue of vertex sets that may still contain cycles.
+	queue := [][]int{allVertices(g.NumVertices())}
+	for len(queue) > 0 {
+		verts := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		sub, fromSub := subgraph(g, verts, removed)
+		for _, comp := range StronglyConnectedComponents(sub) {
+			if len(comp) < 2 {
+				continue // no self-loops exist in CRWI digraphs
+			}
+			// Delete the best-scoring vertex of this component.
+			best, bestScore := -1, -1.0
+			inDeg, outDeg := degreesWithin(sub, comp)
+			for _, v := range comp {
+				score := float64(inDeg[v]*outDeg[v]+1) / float64(cost(fromSub[v])+1)
+				if score > bestScore {
+					best, bestScore = v, score
+				}
+			}
+			victim := fromSub[best]
+			removed[victim] = true
+			out = append(out, victim)
+			// The component minus the victim may still be cyclic.
+			rest := make([]int, 0, len(comp)-1)
+			for _, v := range comp {
+				if v != best {
+					rest = append(rest, fromSub[v])
+				}
+			}
+			queue = append(queue, rest)
+		}
+	}
+	return out
+}
+
+func allVertices(n int) []int {
+	out := make([]int, n)
+	for k := range out {
+		out[k] = k
+	}
+	return out
+}
+
+// subgraph builds the induced subgraph on verts minus removed vertices,
+// returning it and the mapping from subgraph index to original vertex.
+func subgraph(g *Digraph, verts []int, removed []bool) (*Digraph, []int) {
+	toSub := make(map[int]int, len(verts))
+	var fromSub []int
+	for _, v := range verts {
+		if removed[v] {
+			continue
+		}
+		toSub[v] = len(fromSub)
+		fromSub = append(fromSub, v)
+	}
+	sub := New(len(fromSub))
+	for _, v := range fromSub {
+		for _, w := range g.Succ(v) {
+			if sw, ok := toSub[int(w)]; ok {
+				sub.AddEdge(toSub[v], sw)
+			}
+		}
+	}
+	return sub, fromSub
+}
+
+// degreesWithin counts in/out degrees restricted to the component.
+func degreesWithin(g *Digraph, comp []int) (in, out map[int]int) {
+	member := make(map[int]bool, len(comp))
+	for _, v := range comp {
+		member[v] = true
+	}
+	in = make(map[int]int, len(comp))
+	out = make(map[int]int, len(comp))
+	for _, v := range comp {
+		for _, w := range g.Succ(v) {
+			if member[int(w)] {
+				out[v]++
+				in[int(w)]++
+			}
+		}
+	}
+	return in, out
+}

@@ -1,0 +1,51 @@
+package graph
+
+// TopoSortExcluding topologically sorts the subgraph of g induced by the
+// vertices not marked removed. It returns the order and true on success,
+// or nil and false if the restricted graph still contains a cycle. Used by
+// strategies that decide the removal set up front (e.g. the SCC-greedy
+// feedback vertex set) and then only need an ordering.
+func TopoSortExcluding(g *Digraph, removed []bool) ([]int, bool) {
+	n := g.NumVertices()
+	color := make([]byte, n)
+	postorder := make([]int, 0, n)
+	type frame struct {
+		v    int32
+		edge int
+	}
+	var stack []frame
+	for root := 0; root < n; root++ {
+		if color[root] != white || (removed != nil && removed[root]) {
+			continue
+		}
+		color[root] = gray
+		stack = append(stack[:0], frame{v: int32(root)})
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			succ := g.Succ(int(top.v))
+			if top.edge >= len(succ) {
+				color[top.v] = black
+				postorder = append(postorder, int(top.v))
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			w := succ[top.edge]
+			top.edge++
+			if removed != nil && removed[w] {
+				continue
+			}
+			switch color[w] {
+			case white:
+				color[w] = gray
+				stack = append(stack, frame{v: w})
+			case gray:
+				return nil, false
+			}
+		}
+	}
+	order := make([]int, 0, len(postorder))
+	for k := len(postorder) - 1; k >= 0; k-- {
+		order = append(order, postorder[k])
+	}
+	return order, true
+}

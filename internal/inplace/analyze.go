@@ -1,0 +1,96 @@
+package inplace
+
+import (
+	"fmt"
+	"sort"
+
+	"ipdelta/internal/codec"
+	"ipdelta/internal/delta"
+	"ipdelta/internal/graph"
+)
+
+// Analysis describes the in-place structure of a delta without converting
+// it: the CRWI digraph, how entangled it is, and what conversion would
+// cost. It needs only the delta (not the reference file), so inspection
+// tools can run it anywhere.
+type Analysis struct {
+	// Copies and Adds partition the commands.
+	Copies int
+	Adds   int
+	// Edges is the CRWI digraph's edge count (≤ VersionLen by Lemma 1).
+	Edges int
+	// CyclicComponents counts strongly connected components with at least
+	// two vertices — the irreducible knots that force conversions.
+	CyclicComponents int
+	// VerticesInCycles counts copies entangled in those components.
+	VerticesInCycles int
+	// LargestComponent is the size of the biggest cyclic component.
+	LargestComponent int
+	// AlreadySafe reports whether the delta, in its current order,
+	// satisfies Equation 2 (safe to apply in place as-is).
+	AlreadySafe bool
+	// ReorderSufficient reports whether a permutation alone (no copy→add
+	// conversions) can make the delta in-place safe, i.e. the CRWI digraph
+	// is acyclic.
+	ReorderSufficient bool
+	// MinConversionBytes lower-bounds the literal bytes conversion must
+	// move into the delta: for each cyclic component, the smallest copy in
+	// it (every feedback vertex set takes at least one vertex per cyclic
+	// component).
+	MinConversionBytes int64
+	// LocallyMinimumBytes is what the locally-minimum policy would
+	// actually convert.
+	LocallyMinimumBytes int64
+}
+
+// Analyze inspects d and reports its in-place structure.
+func Analyze(d *delta.Delta) (*Analysis, error) {
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("analyze: %w", err)
+	}
+	var copies []delta.Command
+	adds := 0
+	for _, c := range d.Commands {
+		if c.Op == delta.OpCopy {
+			copies = append(copies, c)
+		} else {
+			adds++
+		}
+	}
+	sort.Slice(copies, func(i, j int) bool { return copies[i].To < copies[j].To })
+	g := buildCRWI(copies)
+	cost := func(v int) int64 {
+		c := copies[v]
+		return c.Length - int64(codec.UvarintLen(uint64(c.From)))
+	}
+
+	a := &Analysis{
+		Copies:      len(copies),
+		Adds:        adds,
+		Edges:       g.NumEdges(),
+		AlreadySafe: d.CheckInPlace() == nil,
+	}
+	for _, comp := range graph.StronglyConnectedComponents(g) {
+		if len(comp) < 2 {
+			continue
+		}
+		a.CyclicComponents++
+		a.VerticesInCycles += len(comp)
+		if len(comp) > a.LargestComponent {
+			a.LargestComponent = len(comp)
+		}
+		minLen := copies[comp[0]].Length
+		for _, v := range comp[1:] {
+			if copies[v].Length < minLen {
+				minLen = copies[v].Length
+			}
+		}
+		a.MinConversionBytes += minLen
+	}
+	a.ReorderSufficient = a.CyclicComponents == 0
+	res := graph.TopoSort(g, cost, graph.LocallyMinimum{})
+	for _, v := range res.Removed {
+		a.LocallyMinimumBytes += copies[v].Length
+	}
+	return a, nil
+}

@@ -1,0 +1,158 @@
+package inplace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ipdelta/internal/delta"
+	"ipdelta/internal/diff"
+)
+
+func TestAnalyzeSwap(t *testing.T) {
+	d := &delta.Delta{
+		RefLen:     8,
+		VersionLen: 8,
+		Commands: []delta.Command{
+			delta.NewCopy(4, 0, 4),
+			delta.NewCopy(0, 4, 4),
+		},
+	}
+	a, err := Analyze(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Copies != 2 || a.Adds != 0 {
+		t.Fatalf("partition: %+v", a)
+	}
+	if a.Edges != 2 {
+		t.Fatalf("edges = %d, want 2", a.Edges)
+	}
+	if a.CyclicComponents != 1 || a.VerticesInCycles != 2 || a.LargestComponent != 2 {
+		t.Fatalf("cycle structure: %+v", a)
+	}
+	if a.AlreadySafe || a.ReorderSufficient {
+		t.Fatalf("swap cannot be safe or reorderable: %+v", a)
+	}
+	if a.MinConversionBytes != 4 {
+		t.Fatalf("MinConversionBytes = %d, want 4", a.MinConversionBytes)
+	}
+	if a.LocallyMinimumBytes != 4 {
+		t.Fatalf("LocallyMinimumBytes = %d, want 4", a.LocallyMinimumBytes)
+	}
+}
+
+func TestAnalyzeSafeDelta(t *testing.T) {
+	d := &delta.Delta{
+		RefLen:     8,
+		VersionLen: 8,
+		Commands: []delta.Command{
+			delta.NewCopy(4, 0, 4),
+			delta.NewAdd(4, []byte("wxyz")),
+		},
+	}
+	a, err := Analyze(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.AlreadySafe || !a.ReorderSufficient {
+		t.Fatalf("safe delta misreported: %+v", a)
+	}
+	if a.MinConversionBytes != 0 || a.LocallyMinimumBytes != 0 {
+		t.Fatalf("no conversions expected: %+v", a)
+	}
+}
+
+func TestAnalyzeReorderSufficient(t *testing.T) {
+	// Conflicting as ordered (the add writes into the copy's read interval
+	// before the copy runs), but the copy-copy digraph is acyclic, so
+	// moving the add after the copy suffices — no conversion needed.
+	d := &delta.Delta{
+		RefLen:     8,
+		VersionLen: 8,
+		Commands: []delta.Command{
+			delta.NewAdd(6, []byte("XY")), // writes [6,7]
+			delta.NewCopy(2, 0, 6),        // reads [2,7] — includes [6,7]
+		},
+	}
+	a, err := Analyze(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AlreadySafe {
+		t.Fatal("delta as ordered must conflict (cmd 2 reads what cmd 0 wrote)")
+	}
+	if !a.ReorderSufficient {
+		t.Fatalf("acyclic digraph must be reorder-sufficient: %+v", a)
+	}
+	if a.MinConversionBytes != 0 {
+		t.Fatalf("MinConversionBytes = %d", a.MinConversionBytes)
+	}
+}
+
+func TestAnalyzeAdversarialTree(t *testing.T) {
+	depth, leafLen := 3, 16
+	d := AdversarialDelta(depth, leafLen)
+	a, err := Analyze(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All tree vertices are entangled through the root: one big component.
+	n := (1 << (depth + 1)) - 1
+	if a.CyclicComponents != 1 || a.VerticesInCycles != n {
+		t.Fatalf("tree analysis: %+v", a)
+	}
+	// The minimum bound is one smallest copy (a leaf).
+	if a.MinConversionBytes != int64(leafLen) {
+		t.Fatalf("MinConversionBytes = %d, want %d", a.MinConversionBytes, leafLen)
+	}
+	// Locally minimum converts every leaf.
+	if a.LocallyMinimumBytes != int64(leafLen*(1<<depth)) {
+		t.Fatalf("LocallyMinimumBytes = %d", a.LocallyMinimumBytes)
+	}
+}
+
+func TestAnalyzeRejectsInvalid(t *testing.T) {
+	bad := &delta.Delta{RefLen: 4, VersionLen: 4,
+		Commands: []delta.Command{delta.NewCopy(0, 2, 4)}}
+	if _, err := Analyze(bad); err == nil {
+		t.Fatal("invalid delta accepted")
+	}
+}
+
+func TestQuickAnalyzeConsistentWithConvert(t *testing.T) {
+	// Analysis invariants versus an actual conversion:
+	// converted bytes >= MinConversionBytes, and LocallyMinimumBytes
+	// matches what the LM conversion does.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ref := make([]byte, rng.Intn(4<<10)+64)
+		rng.Read(ref)
+		version := mutateBytes(rng, ref)
+		d, err := diff.NewLinear(diff.WithSeedLen(8)).Diff(ref, version)
+		if err != nil {
+			return false
+		}
+		a, err := Analyze(d)
+		if err != nil {
+			return false
+		}
+		_, st, err := Convert(d, ref)
+		if err != nil {
+			return false
+		}
+		if st.ConvertedBytes != a.LocallyMinimumBytes {
+			return false
+		}
+		if st.ConvertedBytes < a.MinConversionBytes {
+			return false
+		}
+		if a.ReorderSufficient != (st.ConvertedCopies == 0) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

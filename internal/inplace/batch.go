@@ -1,0 +1,68 @@
+package inplace
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ipdelta/internal/delta"
+)
+
+// Job is one conversion request for ConvertBatch.
+type Job struct {
+	// Delta is the input delta file.
+	Delta *delta.Delta
+	// Ref is the reference version the delta applies to.
+	Ref []byte
+}
+
+// Result is the outcome of one batch job, in input order.
+type Result struct {
+	Delta *delta.Delta
+	Stats *Stats
+	Err   error
+}
+
+// ConvertBatch converts many deltas concurrently with a bounded worker
+// pool — the shape an update server uses to prewarm its per-release delta
+// cache. workers <= 0 selects GOMAXPROCS. Results are returned in input
+// order; a failed job carries its error and does not abort the others.
+//
+// Conversion is CPU-bound and jobs are independent, so the speedup is
+// near-linear until memory bandwidth saturates.
+func ConvertBatch(jobs []Job, workers int, opts ...Option) []Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range work {
+				job := jobs[k]
+				if job.Delta == nil {
+					results[k] = Result{Err: fmt.Errorf("inplace: job %d has a nil delta", k)}
+					continue
+				}
+				out, st, err := Convert(job.Delta, job.Ref, opts...)
+				results[k] = Result{Delta: out, Stats: st, Err: err}
+			}
+		}()
+	}
+	for k := range jobs {
+		work <- k
+	}
+	close(work)
+	wg.Wait()
+	return results
+}

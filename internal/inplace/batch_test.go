@@ -1,0 +1,120 @@
+package inplace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"ipdelta/internal/delta"
+	"ipdelta/internal/diff"
+)
+
+func batchJobs(t *testing.T, n int) ([]Job, [][]byte) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(71))
+	jobs := make([]Job, 0, n)
+	versions := make([][]byte, 0, n)
+	for k := 0; k < n; k++ {
+		ref := make([]byte, 8<<10)
+		rng.Read(ref)
+		version := mutateBytes(rng, ref)
+		d, err := diff.NewLinear().Diff(ref, version)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, Job{Delta: d, Ref: ref})
+		versions = append(versions, version)
+	}
+	return jobs, versions
+}
+
+func TestConvertBatch(t *testing.T) {
+	jobs, versions := batchJobs(t, 20)
+	for _, workers := range []int{0, 1, 4, 64} {
+		results := ConvertBatch(jobs, workers)
+		if len(results) != len(jobs) {
+			t.Fatalf("workers=%d: %d results", workers, len(results))
+		}
+		for k, r := range results {
+			if r.Err != nil {
+				t.Fatalf("workers=%d job %d: %v", workers, k, r.Err)
+			}
+			if r.Stats == nil {
+				t.Fatalf("workers=%d job %d: nil stats", workers, k)
+			}
+			if err := r.Delta.CheckInPlace(); err != nil {
+				t.Fatalf("workers=%d job %d: %v", workers, k, err)
+			}
+			buf := make([]byte, r.Delta.InPlaceBufLen())
+			copy(buf, jobs[k].Ref)
+			if err := r.Delta.ApplyInPlace(buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf[:r.Delta.VersionLen], versions[k]) {
+				t.Fatalf("workers=%d job %d: wrong version", workers, k)
+			}
+		}
+	}
+}
+
+func TestConvertBatchMatchesSequential(t *testing.T) {
+	jobs, _ := batchJobs(t, 8)
+	parallel := ConvertBatch(jobs, 8)
+	for k, job := range jobs {
+		seq, st, err := Convert(job.Delta, job.Ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq.Commands) != len(parallel[k].Delta.Commands) {
+			t.Fatalf("job %d: command counts differ", k)
+		}
+		for i := range seq.Commands {
+			if !seq.Commands[i].Equal(parallel[k].Delta.Commands[i]) {
+				t.Fatalf("job %d command %d differs (nondeterminism?)", k, i)
+			}
+		}
+		if st.ConvertedCopies != parallel[k].Stats.ConvertedCopies {
+			t.Fatalf("job %d: stats differ", k)
+		}
+	}
+}
+
+func TestConvertBatchErrors(t *testing.T) {
+	good, _ := batchJobs(t, 1)
+	bad := Job{
+		Delta: &delta.Delta{RefLen: 4, VersionLen: 4,
+			Commands: []delta.Command{delta.NewCopy(0, 2, 4)}},
+		Ref: make([]byte, 4),
+	}
+	jobs := []Job{good[0], bad, {Delta: nil}}
+	results := ConvertBatch(jobs, 2)
+	if results[0].Err != nil {
+		t.Fatalf("good job failed: %v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Fatal("invalid delta accepted")
+	}
+	if results[2].Err == nil {
+		t.Fatal("nil delta accepted")
+	}
+}
+
+func TestConvertBatchEmpty(t *testing.T) {
+	if got := ConvertBatch(nil, 4); len(got) != 0 {
+		t.Fatalf("results = %v", got)
+	}
+}
+
+func TestConvertBatchWithOptions(t *testing.T) {
+	jobs, _ := batchJobs(t, 4)
+	results := ConvertBatch(jobs, 4, WithScratchBudget(1<<20))
+	for k, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.Stats.ConvertedCopies != 0 {
+			t.Fatalf("job %d converted %d copies despite a huge scratch budget",
+				k, r.Stats.ConvertedCopies)
+		}
+	}
+}

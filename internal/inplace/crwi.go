@@ -1,0 +1,133 @@
+package inplace
+
+import (
+	"ipdelta/internal/delta"
+)
+
+// This file contains command-level realizations of the CRWI digraph
+// constructions the paper uses in its analysis: the quadratic-edge example
+// of Figure 3 (§6) and the adversarial binary tree of Figure 2 (§5). Both
+// return genuine delta files, so the whole pipeline — digraph construction,
+// topological sort, cycle breaking, in-place application — can be driven
+// over them, not just the abstract digraphs.
+
+// QuadraticDelta builds the Figure 3 example: a file of length L = b²
+// split into b blocks of b bytes. Every block of the new file except the
+// first is a copy of the reference's first block, and the first block is
+// rebuilt from b length-1 copies. Each length-1 command writes into every
+// long command's read interval, so the CRWI digraph has (b−1)·b = L−b
+// edges — Θ(|C|²) for |C| = 2b−1 commands, while still respecting the
+// Lemma 1 bound of at most L edges.
+//
+// The length-1 copies read their own write offset, so they conflict with
+// nothing (a command cannot conflict with itself) and the digraph is
+// acyclic: conversion must succeed with zero copies converted to adds.
+func QuadraticDelta(b int) *delta.Delta {
+	if b < 2 {
+		b = 2
+	}
+	l := int64(b) * int64(b)
+	d := &delta.Delta{RefLen: l, VersionLen: l}
+	// Long copies: blocks 1..b-1 each copy reference block 0.
+	for i := 1; i < b; i++ {
+		d.Commands = append(d.Commands, delta.NewCopy(0, int64(i)*int64(b), int64(b)))
+	}
+	// Short copies: block 0 is assembled from b length-1 copies, each
+	// reading the byte it overwrites.
+	for j := 0; j < b; j++ {
+		d.Commands = append(d.Commands, delta.NewCopy(int64(j), int64(j), 1))
+	}
+	return d
+}
+
+// AdversarialDelta realizes the Figure 2 digraph as an actual delta file: a
+// complete binary tree of the given depth in which every internal copy
+// (including the root) reads a span straddling the boundary between its two
+// children's write intervals, and every leaf reads from inside the root's
+// write interval — closing one cycle per leaf through the root.
+//
+// Leaves copy leafLen bytes, internal vertices 2·leafLen; read intervals of
+// distinct leaves may overlap (only writes must be disjoint), so all leaves
+// read the same root bytes. With the cost function cost = l − |f|, every
+// leaf is the strict minimum of its cycle, so the locally-minimum policy
+// converts all 2^depth leaves (≈ 2^depth·leafLen bytes of lost compression)
+// where converting the root alone (2·leafLen bytes) is globally optimal —
+// the paper's example of locally-minimum being arbitrarily worse.
+//
+// Write intervals are laid out with one-byte gaps (covered by add commands)
+// between family blocks so no unintended read/write intersections arise.
+// leafLen must be at least 16 so varint from-offset sizes cannot perturb
+// the cost ordering.
+func AdversarialDelta(depth, leafLen int) *delta.Delta {
+	if depth < 1 {
+		depth = 1
+	}
+	if leafLen < 16 {
+		leafLen = 16
+	}
+	n := (1 << (depth + 1)) - 1 // vertices, heap numbering, 0 = root
+	firstLeaf := (1 << depth) - 1
+
+	length := make([]int64, n)
+	for v := 0; v < n; v++ {
+		if v >= firstLeaf {
+			length[v] = int64(leafLen)
+		} else {
+			length[v] = 2 * int64(leafLen)
+		}
+	}
+
+	// Write layout: root block first, then each level's sibling pairs laid
+	// out contiguously (so a parent's read can straddle the pair's internal
+	// boundary), with one-byte gaps separating blocks.
+	to := make([]int64, n)
+	cursor := int64(1) // gap byte at offset 0
+	to[0] = cursor
+	cursor += length[0] + 1
+	for lvl := 1; lvl <= depth; lvl++ {
+		start := (1 << lvl) - 1
+		end := (1 << (lvl + 1)) - 1
+		for v := start; v < end; v += 2 {
+			to[v] = cursor
+			cursor += length[v]
+			to[v+1] = cursor
+			cursor += length[v+1] + 1 // gap after each sibling pair
+		}
+	}
+	versionLen := cursor
+
+	// Read placement. Internal v reads x bytes from the tail of child1 and
+	// length[v]−x bytes from the head of child2, with x chosen so the read
+	// stays inside the pair's block: x ≥ length[v]−length[child2], x ≥ 1.
+	from := make([]int64, n)
+	for v := 0; v < firstLeaf; v++ {
+		c1, c2 := 2*v+1, 2*v+2
+		x := length[v] - length[c2]
+		if x < 1 {
+			x = 1
+		}
+		from[v] = to[c1] + length[c1] - x
+	}
+	// Leaves all read the first leafLen bytes of the root's write interval.
+	for v := firstLeaf; v < n; v++ {
+		from[v] = to[0]
+	}
+
+	d := &delta.Delta{RefLen: versionLen, VersionLen: versionLen}
+	for v := 0; v < n; v++ {
+		d.Commands = append(d.Commands, delta.NewCopy(from[v], to[v], length[v]))
+	}
+	// Cover every gap byte with adds so the delta is valid.
+	covered := make([]bool, versionLen)
+	for v := 0; v < n; v++ {
+		for p := to[v]; p < to[v]+length[v]; p++ {
+			covered[p] = true
+		}
+	}
+	for p := int64(0); p < versionLen; p++ {
+		if !covered[p] {
+			d.Commands = append(d.Commands, delta.NewAdd(p, []byte{'.'}))
+		}
+	}
+	return d
+}

@@ -1,0 +1,94 @@
+package inplace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ipdelta/internal/diff"
+	"ipdelta/internal/graph"
+)
+
+func TestSCCStrategyCorrectness(t *testing.T) {
+	// The SCC strategy must produce correct in-place deltas on the same
+	// inputs as the DFS strategy.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ref := make([]byte, rng.Intn(4<<10)+64)
+		rng.Read(ref)
+		version := mutateBytes(rng, ref)
+		d, err := diff.NewLinear(diff.WithSeedLen(8)).Diff(ref, version)
+		if err != nil {
+			return false
+		}
+		out, st, err := Convert(d, ref, WithStrategy(StrategySCCGreedy))
+		if err != nil {
+			return false
+		}
+		if st.Policy != "scc-greedy" {
+			return false
+		}
+		if out.Validate() != nil || out.CheckInPlace() != nil {
+			return false
+		}
+		buf := make([]byte, out.InPlaceBufLen())
+		copy(buf, ref)
+		if out.ApplyInPlace(buf) != nil {
+			return false
+		}
+		return bytes.Equal(buf[:out.VersionLen], version)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSCCStrategyBeatsLMOnAdversarialTree(t *testing.T) {
+	// On the Figure 2 instance, the SCC-greedy strategy sees the root hub
+	// and converts only it, where locally-minimum converts every leaf.
+	depth, leafLen := 5, 32
+	d := AdversarialDelta(depth, leafLen)
+	ref := make([]byte, d.RefLen)
+	rand.New(rand.NewSource(1)).Read(ref)
+
+	_, lm, err := Convert(d, ref, WithPolicy(graph.LocallyMinimum{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outSCC, scc, err := Convert(d, ref, WithStrategy(StrategySCCGreedy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scc.ConvertedCopies != 1 {
+		t.Fatalf("scc-greedy converted %d copies, want 1 (the root)", scc.ConvertedCopies)
+	}
+	if scc.ConvertedBytes >= lm.ConvertedBytes {
+		t.Fatalf("scc-greedy (%d bytes) not better than LM (%d bytes)", scc.ConvertedBytes, lm.ConvertedBytes)
+	}
+	// And the result still reconstructs correctly in place.
+	want, err := d.Apply(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, outSCC.InPlaceBufLen())
+	copy(buf, ref)
+	if err := outSCC.ApplyInPlace(buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf[:outSCC.VersionLen], want) {
+		t.Fatal("scc-greedy result reconstructs the wrong version")
+	}
+}
+
+func TestSCCStrategyNoCyclesNoConversions(t *testing.T) {
+	d := QuadraticDelta(16) // acyclic CRWI digraph
+	ref := make([]byte, d.RefLen)
+	_, st, err := Convert(d, ref, WithStrategy(StrategySCCGreedy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ConvertedCopies != 0 {
+		t.Fatalf("converted %d copies on an acyclic instance", st.ConvertedCopies)
+	}
+}

@@ -1,0 +1,209 @@
+// Package interval provides closed integer interval arithmetic used to
+// reason about the byte ranges read and written by delta commands.
+//
+// Throughout this module an interval [Lo, Hi] denotes the inclusive range of
+// byte offsets Lo..Hi, matching the paper's notation [f, f+l-1] for a copy
+// command's read interval and [t, t+l-1] for its write interval. The empty
+// interval is represented with Hi < Lo.
+package interval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Interval is a closed interval [Lo, Hi] of int64 byte offsets. An interval
+// with Hi < Lo is empty.
+type Interval struct {
+	Lo int64
+	Hi int64
+}
+
+// FromRange returns the interval covering length bytes starting at off,
+// i.e. [off, off+length-1]. A non-positive length yields an empty interval.
+func FromRange(off, length int64) Interval {
+	return Interval{Lo: off, Hi: off + length - 1}
+}
+
+// Empty reports whether i contains no offsets.
+func (i Interval) Empty() bool { return i.Hi < i.Lo }
+
+// Len returns the number of offsets in i, zero if empty.
+func (i Interval) Len() int64 {
+	if i.Empty() {
+		return 0
+	}
+	return i.Hi - i.Lo + 1
+}
+
+// Contains reports whether offset p lies within i.
+func (i Interval) Contains(p int64) bool { return i.Lo <= p && p <= i.Hi }
+
+// ContainsInterval reports whether o lies entirely within i. An empty o is
+// contained in every interval.
+func (i Interval) ContainsInterval(o Interval) bool {
+	if o.Empty() {
+		return true
+	}
+	return i.Lo <= o.Lo && o.Hi <= i.Hi
+}
+
+// Overlaps reports whether i and o share at least one offset. This is the
+// WR-conflict test from the paper: [t_i, t_i+l_i-1] ∩ [f_j, f_j+l_j-1] ≠ ∅.
+func (i Interval) Overlaps(o Interval) bool {
+	if i.Empty() || o.Empty() {
+		return false
+	}
+	return i.Lo <= o.Hi && o.Lo <= i.Hi
+}
+
+// Intersect returns the interval common to i and o. The result is empty when
+// the intervals do not overlap.
+func (i Interval) Intersect(o Interval) Interval {
+	lo, hi := i.Lo, i.Hi
+	if o.Lo > lo {
+		lo = o.Lo
+	}
+	if o.Hi < hi {
+		hi = o.Hi
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Union returns the smallest interval containing both i and o. Unlike set
+// union it also covers any gap between them; callers that need exact set
+// semantics should use Set.
+func (i Interval) Union(o Interval) Interval {
+	if i.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return i
+	}
+	lo, hi := i.Lo, i.Hi
+	if o.Lo < lo {
+		lo = o.Lo
+	}
+	if o.Hi > hi {
+		hi = o.Hi
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Adjacent reports whether i and o touch without overlapping, e.g.
+// [0,4] and [5,9].
+func (i Interval) Adjacent(o Interval) bool {
+	if i.Empty() || o.Empty() {
+		return false
+	}
+	return i.Hi+1 == o.Lo || o.Hi+1 == i.Lo
+}
+
+// String renders the interval in the paper's [lo, hi] notation.
+func (i Interval) String() string {
+	if i.Empty() {
+		return "[empty]"
+	}
+	return fmt.Sprintf("[%d, %d]", i.Lo, i.Hi)
+}
+
+// Set is a collection of disjoint, sorted, non-adjacent intervals. The zero
+// value is an empty set ready for use. Set is the data structure used to
+// accumulate "bytes already written" when verifying Equation 2 of the paper.
+type Set struct {
+	ivs []Interval // invariant: sorted by Lo, pairwise disjoint and non-adjacent
+}
+
+// NewSet returns a set containing the given intervals.
+func NewSet(ivs ...Interval) *Set {
+	s := &Set{}
+	for _, iv := range ivs {
+		s.Add(iv)
+	}
+	return s
+}
+
+// Len returns the number of maximal intervals in the set.
+func (s *Set) Len() int { return len(s.ivs) }
+
+// Total returns the number of offsets covered by the set.
+func (s *Set) Total() int64 {
+	var n int64
+	for _, iv := range s.ivs {
+		n += iv.Len()
+	}
+	return n
+}
+
+// Intervals returns a copy of the maximal intervals in sorted order.
+func (s *Set) Intervals() []Interval {
+	out := make([]Interval, len(s.ivs))
+	copy(out, s.ivs)
+	return out
+}
+
+// Add inserts iv into the set, merging with any overlapping or adjacent
+// intervals. Empty intervals are ignored.
+func (s *Set) Add(iv Interval) {
+	if iv.Empty() {
+		return
+	}
+	// Locate the first existing interval that could merge with iv: the first
+	// whose Hi+1 >= iv.Lo.
+	lo := sort.Search(len(s.ivs), func(k int) bool { return s.ivs[k].Hi+1 >= iv.Lo })
+	hi := lo
+	for hi < len(s.ivs) && s.ivs[hi].Lo <= iv.Hi+1 {
+		iv = iv.Union(s.ivs[hi])
+		hi++
+	}
+	if lo == hi {
+		s.ivs = append(s.ivs, Interval{})
+		copy(s.ivs[lo+1:], s.ivs[lo:])
+		s.ivs[lo] = iv
+		return
+	}
+	s.ivs[lo] = iv
+	s.ivs = append(s.ivs[:lo+1], s.ivs[hi:]...)
+}
+
+// Overlaps reports whether iv shares any offset with the set.
+func (s *Set) Overlaps(iv Interval) bool {
+	if iv.Empty() {
+		return false
+	}
+	// First interval with Hi >= iv.Lo is the only candidate start.
+	k := sort.Search(len(s.ivs), func(k int) bool { return s.ivs[k].Hi >= iv.Lo })
+	return k < len(s.ivs) && s.ivs[k].Lo <= iv.Hi
+}
+
+// Contains reports whether offset p is covered by the set.
+func (s *Set) Contains(p int64) bool {
+	k := sort.Search(len(s.ivs), func(k int) bool { return s.ivs[k].Hi >= p })
+	return k < len(s.ivs) && s.ivs[k].Lo <= p
+}
+
+// ContainsInterval reports whether iv is entirely covered by a single
+// maximal interval of the set (equivalently, by the set, since maximal
+// intervals are non-adjacent).
+func (s *Set) ContainsInterval(iv Interval) bool {
+	if iv.Empty() {
+		return true
+	}
+	k := sort.Search(len(s.ivs), func(k int) bool { return s.ivs[k].Hi >= iv.Lo })
+	return k < len(s.ivs) && s.ivs[k].ContainsInterval(iv)
+}
+
+// String renders the set as a list of intervals.
+func (s *Set) String() string {
+	if len(s.ivs) == 0 {
+		return "{}"
+	}
+	out := ""
+	for k, iv := range s.ivs {
+		if k > 0 {
+			out += " ∪ "
+		}
+		out += iv.String()
+	}
+	return out
+}

@@ -1,0 +1,351 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromRange(t *testing.T) {
+	tests := []struct {
+		name        string
+		off, length int64
+		want        Interval
+		empty       bool
+	}{
+		{name: "simple", off: 10, length: 5, want: Interval{10, 14}},
+		{name: "single byte", off: 0, length: 1, want: Interval{0, 0}},
+		{name: "zero length is empty", off: 7, length: 0, empty: true},
+		{name: "negative length is empty", off: 7, length: -3, empty: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := FromRange(tt.off, tt.length)
+			if got.Empty() != tt.empty {
+				t.Fatalf("Empty() = %v, want %v", got.Empty(), tt.empty)
+			}
+			if !tt.empty && got != tt.want {
+				t.Fatalf("FromRange(%d, %d) = %v, want %v", tt.off, tt.length, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLen(t *testing.T) {
+	tests := []struct {
+		iv   Interval
+		want int64
+	}{
+		{Interval{0, 0}, 1},
+		{Interval{5, 9}, 5},
+		{Interval{9, 5}, 0},
+		{Interval{-3, 3}, 7},
+	}
+	for _, tt := range tests {
+		if got := tt.iv.Len(); got != tt.want {
+			t.Errorf("%v.Len() = %d, want %d", tt.iv, got, tt.want)
+		}
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Interval
+		want bool
+	}{
+		{"disjoint", Interval{0, 4}, Interval{6, 9}, false},
+		{"adjacent do not overlap", Interval{0, 4}, Interval{5, 9}, false},
+		{"single shared offset", Interval{0, 5}, Interval{5, 9}, true},
+		{"nested", Interval{0, 10}, Interval{3, 4}, true},
+		{"identical", Interval{2, 7}, Interval{2, 7}, true},
+		{"empty never overlaps", Interval{5, 4}, Interval{0, 100}, false},
+		{"both empty", Interval{5, 4}, Interval{9, 8}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Overlaps(tt.b); got != tt.want {
+				t.Fatalf("%v.Overlaps(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+			if got := tt.b.Overlaps(tt.a); got != tt.want {
+				t.Fatalf("overlap not symmetric: %v vs %v", tt.a, tt.b)
+			}
+		})
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	tests := []struct {
+		a, b, want Interval
+	}{
+		{Interval{0, 10}, Interval{5, 15}, Interval{5, 10}},
+		{Interval{0, 10}, Interval{3, 4}, Interval{3, 4}},
+		{Interval{0, 4}, Interval{6, 9}, Interval{6, 4}}, // empty
+	}
+	for _, tt := range tests {
+		got := tt.a.Intersect(tt.b)
+		if tt.want.Empty() {
+			if !got.Empty() {
+				t.Errorf("%v.Intersect(%v) = %v, want empty", tt.a, tt.b, got)
+			}
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("%v.Intersect(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestUnionAndAdjacent(t *testing.T) {
+	if got := (Interval{0, 4}).Union(Interval{10, 14}); got != (Interval{0, 14}) {
+		t.Errorf("Union spanning gap = %v, want [0, 14]", got)
+	}
+	if got := (Interval{5, 4}).Union(Interval{1, 2}); got != (Interval{1, 2}) {
+		t.Errorf("Union with empty lhs = %v, want [1, 2]", got)
+	}
+	if got := (Interval{1, 2}).Union(Interval{9, 8}); got != (Interval{1, 2}) {
+		t.Errorf("Union with empty rhs = %v, want [1, 2]", got)
+	}
+	if !(Interval{0, 4}).Adjacent(Interval{5, 9}) {
+		t.Error("expected [0,4] adjacent to [5,9]")
+	}
+	if (Interval{0, 4}).Adjacent(Interval{6, 9}) {
+		t.Error("did not expect [0,4] adjacent to [6,9]")
+	}
+	if (Interval{0, 4}).Adjacent(Interval{4, 9}) {
+		t.Error("overlapping intervals are not adjacent")
+	}
+}
+
+func TestContains(t *testing.T) {
+	iv := Interval{3, 8}
+	for _, p := range []int64{3, 5, 8} {
+		if !iv.Contains(p) {
+			t.Errorf("%v should contain %d", iv, p)
+		}
+	}
+	for _, p := range []int64{2, 9, -1} {
+		if iv.Contains(p) {
+			t.Errorf("%v should not contain %d", iv, p)
+		}
+	}
+	if !iv.ContainsInterval(Interval{4, 7}) || !iv.ContainsInterval(Interval{3, 8}) {
+		t.Error("ContainsInterval failed on nested intervals")
+	}
+	if iv.ContainsInterval(Interval{2, 5}) {
+		t.Error("ContainsInterval accepted a partially outside interval")
+	}
+	if !iv.ContainsInterval(Interval{9, 8}) {
+		t.Error("every interval contains the empty interval")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (Interval{3, 8}).String(); got != "[3, 8]" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := (Interval{8, 3}).String(); got != "[empty]" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestSetAddMerges(t *testing.T) {
+	tests := []struct {
+		name string
+		add  []Interval
+		want []Interval
+	}{
+		{
+			name: "disjoint stay separate",
+			add:  []Interval{{0, 4}, {10, 14}},
+			want: []Interval{{0, 4}, {10, 14}},
+		},
+		{
+			name: "adjacent merge",
+			add:  []Interval{{0, 4}, {5, 9}},
+			want: []Interval{{0, 9}},
+		},
+		{
+			name: "overlap merge",
+			add:  []Interval{{0, 6}, {4, 9}},
+			want: []Interval{{0, 9}},
+		},
+		{
+			name: "bridge merges three",
+			add:  []Interval{{0, 4}, {10, 14}, {5, 9}},
+			want: []Interval{{0, 14}},
+		},
+		{
+			name: "insert before all",
+			add:  []Interval{{10, 14}, {0, 2}},
+			want: []Interval{{0, 2}, {10, 14}},
+		},
+		{
+			name: "contained is absorbed",
+			add:  []Interval{{0, 20}, {5, 9}},
+			want: []Interval{{0, 20}},
+		},
+		{
+			name: "empty ignored",
+			add:  []Interval{{5, 4}},
+			want: nil,
+		},
+		{
+			name: "superset swallows several",
+			add:  []Interval{{2, 3}, {6, 7}, {12, 13}, {0, 20}},
+			want: []Interval{{0, 20}},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := NewSet(tt.add...)
+			got := s.Intervals()
+			if len(got) != len(tt.want) {
+				t.Fatalf("Intervals() = %v, want %v", got, tt.want)
+			}
+			for k := range got {
+				if got[k] != tt.want[k] {
+					t.Fatalf("Intervals() = %v, want %v", got, tt.want)
+				}
+			}
+		})
+	}
+}
+
+func TestSetQueries(t *testing.T) {
+	s := NewSet(Interval{0, 4}, Interval{10, 14})
+	if !s.Overlaps(Interval{4, 10}) {
+		t.Error("expected overlap with [4,10]")
+	}
+	if s.Overlaps(Interval{5, 9}) {
+		t.Error("did not expect overlap with gap [5,9]")
+	}
+	if s.Overlaps(Interval{20, 19}) {
+		t.Error("empty interval should not overlap")
+	}
+	if !s.Contains(0) || !s.Contains(14) || s.Contains(5) || s.Contains(15) {
+		t.Error("Contains gave wrong answers at boundaries")
+	}
+	if !s.ContainsInterval(Interval{11, 13}) {
+		t.Error("expected set to contain [11,13]")
+	}
+	if s.ContainsInterval(Interval{3, 11}) {
+		t.Error("set should not contain interval spanning the gap")
+	}
+	if s.Total() != 10 {
+		t.Errorf("Total() = %d, want 10", s.Total())
+	}
+}
+
+func TestSetString(t *testing.T) {
+	if got := NewSet().String(); got != "{}" {
+		t.Errorf("empty set String() = %q", got)
+	}
+	s := NewSet(Interval{0, 1}, Interval{5, 6})
+	if got := s.String(); got != "[0, 1] ∪ [5, 6]" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// TestSetQuickAgainstBitmap cross-checks the Set implementation against a
+// naive bitmap model over a small universe.
+func TestSetQuickAgainstBitmap(t *testing.T) {
+	const universe = 256
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSet()
+		model := make([]bool, universe)
+		for k := 0; k < int(n%40)+1; k++ {
+			lo := rng.Int63n(universe)
+			length := rng.Int63n(20)
+			iv := FromRange(lo, length)
+			if iv.Hi >= universe {
+				iv.Hi = universe - 1
+			}
+			s.Add(iv)
+			for p := iv.Lo; p <= iv.Hi; p++ {
+				model[p] = true
+			}
+		}
+		// Compare membership point by point.
+		for p := int64(0); p < universe; p++ {
+			if s.Contains(p) != model[p] {
+				return false
+			}
+		}
+		// Compare totals.
+		var total int64
+		for _, b := range model {
+			if b {
+				total++
+			}
+		}
+		if s.Total() != total {
+			return false
+		}
+		// Verify invariant: sorted, disjoint, non-adjacent.
+		ivs := s.Intervals()
+		for k := 1; k < len(ivs); k++ {
+			if ivs[k-1].Hi+1 >= ivs[k].Lo {
+				return false
+			}
+		}
+		// Random overlap queries against the model.
+		for k := 0; k < 32; k++ {
+			lo := rng.Int63n(universe)
+			iv := FromRange(lo, rng.Int63n(12))
+			want := false
+			for p := iv.Lo; p <= iv.Hi && p < universe; p++ {
+				if p >= 0 && model[p] {
+					want = true
+					break
+				}
+			}
+			if iv.Hi >= universe {
+				iv.Hi = universe - 1
+			}
+			if s.Overlaps(iv) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntervalQuickAlgebra checks algebraic properties of the primitive
+// interval operations on random inputs.
+func TestIntervalQuickAlgebra(t *testing.T) {
+	gen := func(seed int64) (Interval, Interval) {
+		rng := rand.New(rand.NewSource(seed))
+		a := FromRange(rng.Int63n(1000), rng.Int63n(50))
+		b := FromRange(rng.Int63n(1000), rng.Int63n(50))
+		return a, b
+	}
+	f := func(seed int64) bool {
+		a, b := gen(seed)
+		// Overlap is symmetric and agrees with a non-empty intersection.
+		if a.Overlaps(b) != b.Overlaps(a) {
+			return false
+		}
+		if a.Overlaps(b) != !a.Intersect(b).Empty() {
+			return false
+		}
+		// Intersection is contained in both operands.
+		in := a.Intersect(b)
+		if !in.Empty() && (!a.ContainsInterval(in) || !b.ContainsInterval(in)) {
+			return false
+		}
+		// Union contains both operands.
+		u := a.Union(b)
+		if !u.ContainsInterval(a) || !u.ContainsInterval(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+package netupdate
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+
+	"ipdelta/internal/device"
+)
+
+// Result summarizes one update session from the device's perspective.
+type Result struct {
+	// UpToDate is true when the server had nothing newer.
+	UpToDate bool
+	// DeltaBytes is the size of the received delta payload.
+	DeltaBytes int64
+	// Resumed is true when the session continued an interrupted update.
+	Resumed bool
+}
+
+// UpdateDevice runs one update session for dev over conn. On success the
+// device's flash holds the server's current version. If the device had an
+// interrupted update pending, the session asks for the same delta again and
+// resumes it.
+//
+// If the connection or power fails mid-update, the device keeps its
+// progress; calling UpdateDevice again with a fresh connection completes
+// the update.
+func UpdateDevice(conn net.Conn, dev *device.Device) (Result, error) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+
+	var h hello
+	if p, ok := dev.PendingUpdate(); ok {
+		h = hello{
+			Updating: true,
+			ImageCRC: p.RefCRC,
+			ImageLen: p.RefLen,
+			Capacity: dev.FlashCapacity(),
+		}
+	} else {
+		crc, err := dev.ImageCRC()
+		if err != nil {
+			return Result{}, err
+		}
+		h = hello{
+			ImageCRC: crc,
+			ImageLen: dev.ImageLen(),
+			Capacity: dev.FlashCapacity(),
+		}
+	}
+	if err := writeMsg(w, msgHello, encodeHello(h)); err != nil {
+		return Result{}, err
+	}
+	if err := w.Flush(); err != nil {
+		return Result{}, err
+	}
+
+	typ, n, err := readMsgHeader(r)
+	if err != nil {
+		return Result{}, err
+	}
+	switch typ {
+	case msgUpToDate:
+		return Result{UpToDate: true}, nil
+	case msgError:
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return Result{}, err
+		}
+		return Result{}, fmt.Errorf("netupdate: server error: %s", payload)
+	case msgDelta:
+		// Stream the delta payload straight into the device.
+		res := Result{DeltaBytes: n, Resumed: h.Updating}
+		if err := dev.Apply(io.LimitReader(r, n)); err != nil {
+			return res, err
+		}
+		crc, err := dev.ImageCRC()
+		if err != nil {
+			return res, err
+		}
+		if err := writeMsg(w, msgStatus, encodeStatus(status{OK: true, ImageCRC: crc})); err != nil {
+			return res, err
+		}
+		return res, w.Flush()
+	default:
+		return Result{}, fmt.Errorf("%w: unexpected message %#x", ErrProtocol, typ)
+	}
+}

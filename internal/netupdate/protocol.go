@@ -1,0 +1,163 @@
+// Package netupdate implements the software-update protocol the paper
+// motivates: a server that holds the release history of an image and
+// streams in-place reconstructible deltas to limited network devices over
+// low-bandwidth channels.
+//
+// Protocol (all messages are a one-byte type, a uvarint payload length and
+// the payload):
+//
+//	device → server  HELLO   {updating, imageCRC, imageLen, capacity}
+//	server → device  UPTODATE                    — image is current
+//	                 DELTA   {delta file bytes}  — apply this in place
+//	                 ERROR   {message}           — e.g. unknown version
+//	device → server  STATUS  {ok, imageCRC}
+//
+// A device that lost power mid-update reconnects with updating=true and the
+// CRC of the version it was upgrading from; the server regenerates the same
+// delta deterministically and the device resumes where it stopped.
+package netupdate
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// message types.
+const (
+	msgHello    = 0x01
+	msgUpToDate = 0x02
+	msgDelta    = 0x03
+	msgError    = 0x04
+	msgStatus   = 0x05
+)
+
+// maxMessage bounds a single protocol message (delta payloads included).
+const maxMessage = 1 << 30
+
+// Protocol errors.
+var (
+	ErrUnknownVersion = errors.New("netupdate: device runs a version the server does not know")
+	ErrProtocol       = errors.New("netupdate: protocol violation")
+)
+
+// hello is the device's opening message.
+type hello struct {
+	Updating bool
+	ImageCRC uint32
+	ImageLen int64
+	Capacity int64
+}
+
+// status is the device's closing message.
+type status struct {
+	OK       bool
+	ImageCRC uint32
+}
+
+// writeMsg frames one message.
+func writeMsg(w io.Writer, typ byte, payload []byte) error {
+	var hdr [1 + binary.MaxVarintLen64]byte
+	hdr[0] = typ
+	n := binary.PutUvarint(hdr[1:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:1+n]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readMsgHeader reads a message type and payload length.
+func readMsgHeader(r io.ByteReader) (byte, int64, error) {
+	typ, err := r.ReadByte()
+	if err != nil {
+		return 0, 0, err
+	}
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: bad length: %v", ErrProtocol, err)
+	}
+	if n > maxMessage {
+		return 0, 0, fmt.Errorf("%w: message of %d bytes", ErrProtocol, n)
+	}
+	return typ, int64(n), nil
+}
+
+// byteAndStreamReader is the reader capability the protocol needs.
+type byteAndStreamReader interface {
+	io.Reader
+	io.ByteReader
+}
+
+// readMsg reads a full message of an expected type.
+func readMsg(r byteAndStreamReader, wantType byte) ([]byte, error) {
+	typ, n, err := readMsgHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: truncated payload: %v", ErrProtocol, err)
+	}
+	if typ == msgError {
+		return nil, fmt.Errorf("netupdate: server error: %s", payload)
+	}
+	if typ != wantType {
+		return nil, fmt.Errorf("%w: got message %#x, want %#x", ErrProtocol, typ, wantType)
+	}
+	return payload, nil
+}
+
+func encodeHello(h hello) []byte {
+	buf := make([]byte, 0, 32)
+	b := byte(0)
+	if h.Updating {
+		b = 1
+	}
+	buf = append(buf, b)
+	buf = binary.BigEndian.AppendUint32(buf, h.ImageCRC)
+	buf = binary.AppendUvarint(buf, uint64(h.ImageLen))
+	buf = binary.AppendUvarint(buf, uint64(h.Capacity))
+	return buf
+}
+
+func decodeHello(p []byte) (hello, error) {
+	var h hello
+	if len(p) < 5 {
+		return h, fmt.Errorf("%w: short hello", ErrProtocol)
+	}
+	h.Updating = p[0] == 1
+	h.ImageCRC = binary.BigEndian.Uint32(p[1:5])
+	rest := p[5:]
+	v, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return h, fmt.Errorf("%w: hello image length", ErrProtocol)
+	}
+	h.ImageLen = int64(v)
+	rest = rest[n:]
+	v, n = binary.Uvarint(rest)
+	if n <= 0 {
+		return h, fmt.Errorf("%w: hello capacity", ErrProtocol)
+	}
+	h.Capacity = int64(v)
+	return h, nil
+}
+
+func encodeStatus(s status) []byte {
+	buf := make([]byte, 0, 8)
+	b := byte(0)
+	if s.OK {
+		b = 1
+	}
+	buf = append(buf, b)
+	buf = binary.BigEndian.AppendUint32(buf, s.ImageCRC)
+	return buf
+}
+
+func decodeStatus(p []byte) (status, error) {
+	if len(p) != 5 {
+		return status{}, fmt.Errorf("%w: short status", ErrProtocol)
+	}
+	return status{OK: p[0] == 1, ImageCRC: binary.BigEndian.Uint32(p[1:5])}, nil
+}

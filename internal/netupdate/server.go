@@ -1,0 +1,310 @@
+package netupdate
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"net"
+	"sync"
+
+	"ipdelta/internal/codec"
+	"ipdelta/internal/diff"
+	"ipdelta/internal/graph"
+	"ipdelta/internal/inplace"
+)
+
+// Server distributes the newest version of one image as in-place
+// reconstructible deltas against any version in its release history.
+type Server struct {
+	history [][]byte // oldest first; last entry is current
+	crcs    []uint32
+	format  codec.Format
+	algo    diff.Algorithm
+	policy  graph.Policy
+
+	scratchBudget int64
+
+	mu           sync.Mutex
+	cache        map[uint32][]byte // encoded delta per source version CRC
+	scratchCache map[uint32][]byte // encoded scratch-format delta per CRC
+
+	// ServedBytes counts delta payload bytes sent, for transfer accounting.
+	served int64
+}
+
+// ServerOption customizes a Server.
+type ServerOption func(*Server)
+
+// WithFormat selects the wire format for deltas (must be in-place capable;
+// default compact).
+func WithFormat(f codec.Format) ServerOption {
+	return func(s *Server) { s.format = f }
+}
+
+// WithAlgorithm selects the differencing algorithm (default linear).
+func WithAlgorithm(a diff.Algorithm) ServerOption {
+	return func(s *Server) { s.algo = a }
+}
+
+// WithServerPolicy selects the cycle-breaking policy (default
+// locally-minimum).
+func WithServerPolicy(p graph.Policy) ServerOption {
+	return func(s *Server) { s.policy = p }
+}
+
+// WithScratchBudget makes the server prepare bounded-scratch deltas (the
+// stash/unstash extension) for devices whose flash has room for the new
+// image plus the scratch area; other devices receive the plain in-place
+// delta. A little durable scratch recovers most of the compression lost to
+// cycle breaking.
+func WithScratchBudget(n int64) ServerOption {
+	return func(s *Server) {
+		if n < 0 {
+			n = 0
+		}
+		s.scratchBudget = n
+	}
+}
+
+// NewServer creates a server for the given release history (oldest first).
+// The last entry is the version devices are upgraded to.
+func NewServer(history [][]byte, opts ...ServerOption) (*Server, error) {
+	if len(history) == 0 {
+		return nil, fmt.Errorf("netupdate: empty release history")
+	}
+	s := &Server{
+		history:      history,
+		format:       codec.FormatCompact,
+		algo:         diff.NewLinear(),
+		policy:       graph.LocallyMinimum{},
+		cache:        make(map[uint32][]byte),
+		scratchCache: make(map[uint32][]byte),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if !s.format.InPlaceCapable() {
+		return nil, fmt.Errorf("netupdate: format %v cannot carry in-place deltas", s.format)
+	}
+	s.crcs = make([]uint32, len(history))
+	for k, v := range history {
+		s.crcs[k] = crc32.ChecksumIEEE(v)
+	}
+	return s, nil
+}
+
+// Current returns the newest version image.
+func (s *Server) Current() []byte { return s.history[len(s.history)-1] }
+
+// ServedBytes returns the total delta payload bytes sent so far.
+func (s *Server) ServedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served
+}
+
+// findVersion returns the history index matching the CRC and length.
+func (s *Server) findVersion(crc uint32, length int64) (int, bool) {
+	for k := range s.history {
+		if s.crcs[k] == crc && int64(len(s.history[k])) == length {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// deltaFor returns (building and caching if needed) the encoded in-place
+// delta from history[idx] to the current version. With scratch enabled,
+// the scratch-format variant is built too and preferred for devices whose
+// capacity accommodates it.
+func (s *Server) deltaFor(idx int, deviceCapacity int64) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	crc := s.crcs[idx]
+	build := func(opts []inplace.Option, format codec.Format) ([]byte, error) {
+		ref := s.history[idx]
+		d, err := s.algo.Diff(ref, s.Current())
+		if err != nil {
+			return nil, fmt.Errorf("netupdate diff: %w", err)
+		}
+		ip, _, err := inplace.Convert(d, ref, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("netupdate convert: %w", err)
+		}
+		var buf bytes.Buffer
+		if _, err := codec.Encode(&buf, ip, format); err != nil {
+			return nil, fmt.Errorf("netupdate encode: %w", err)
+		}
+		return buf.Bytes(), nil
+	}
+	if s.scratchBudget > 0 {
+		enc, ok := s.scratchCache[crc]
+		if !ok {
+			var err error
+			enc, err = build([]inplace.Option{
+				inplace.WithPolicy(s.policy),
+				inplace.WithScratchBudget(s.scratchBudget),
+			}, codec.FormatScratch)
+			if err != nil {
+				return nil, err
+			}
+			s.scratchCache[crc] = enc
+		}
+		// Peek the scratch requirement from the encoded header.
+		dec, err := codec.NewDecoder(bytes.NewReader(enc))
+		if err != nil {
+			return nil, err
+		}
+		imageArea := dec.Header().VersionLen
+		if dec.Header().RefLen > imageArea {
+			imageArea = dec.Header().RefLen
+		}
+		if imageArea+dec.Header().ScratchLen <= deviceCapacity {
+			return enc, nil
+		}
+		// Fall through to the plain delta for tight devices.
+	}
+	if enc, ok := s.cache[crc]; ok {
+		return enc, nil
+	}
+	enc, err := build([]inplace.Option{inplace.WithPolicy(s.policy)}, s.format)
+	if err != nil {
+		return nil, err
+	}
+	s.cache[crc] = enc
+	return enc, nil
+}
+
+// Prewarm builds every per-release delta ahead of time with a bounded
+// worker pool, so the first device of each release is not stalled behind a
+// diff+convert. It returns the first error encountered, after attempting
+// every release.
+func (s *Server) Prewarm(workers int) error {
+	current := s.Current()
+	jobs := make([]inplace.Job, 0, len(s.history)-1)
+	idxs := make([]int, 0, len(s.history)-1)
+	for k := 0; k < len(s.history)-1; k++ {
+		d, err := s.algo.Diff(s.history[k], current)
+		if err != nil {
+			return fmt.Errorf("netupdate prewarm diff: %w", err)
+		}
+		jobs = append(jobs, inplace.Job{Delta: d, Ref: s.history[k]})
+		idxs = append(idxs, k)
+	}
+	opts := []inplace.Option{inplace.WithPolicy(s.policy)}
+	format := s.format
+	if s.scratchBudget > 0 {
+		opts = append(opts, inplace.WithScratchBudget(s.scratchBudget))
+		format = codec.FormatScratch
+	}
+	var firstErr error
+	for k, r := range inplace.ConvertBatch(jobs, workers, opts...) {
+		if r.Err != nil {
+			if firstErr == nil {
+				firstErr = r.Err
+			}
+			continue
+		}
+		var buf bytes.Buffer
+		if _, err := codec.Encode(&buf, r.Delta, format); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		crc := s.crcs[idxs[k]]
+		s.mu.Lock()
+		if s.scratchBudget > 0 {
+			s.scratchCache[crc] = buf.Bytes()
+		} else {
+			s.cache[crc] = buf.Bytes()
+		}
+		s.mu.Unlock()
+	}
+	return firstErr
+}
+
+// Serve accepts connections until the listener is closed, handling each in
+// its own goroutine. It returns the listener's error (net.ErrClosed after
+// a clean Close).
+func (s *Server) Serve(l net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			_ = s.HandleConn(conn) // per-connection errors end that session only
+		}()
+	}
+}
+
+// HandleConn serves one update session on an arbitrary connection.
+func (s *Server) HandleConn(conn net.Conn) error {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	defer w.Flush()
+
+	payload, err := readMsg(r, msgHello)
+	if err != nil {
+		return err
+	}
+	h, err := decodeHello(payload)
+	if err != nil {
+		return err
+	}
+
+	currentCRC := s.crcs[len(s.crcs)-1]
+	if !h.Updating && h.ImageCRC == currentCRC && h.ImageLen == int64(len(s.Current())) {
+		if err := writeMsg(w, msgUpToDate, nil); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+
+	idx, ok := s.findVersion(h.ImageCRC, h.ImageLen)
+	if !ok {
+		_ = writeMsg(w, msgError, []byte(ErrUnknownVersion.Error()))
+		_ = w.Flush()
+		return ErrUnknownVersion
+	}
+	enc, err := s.deltaFor(idx, h.Capacity)
+	if err != nil {
+		_ = writeMsg(w, msgError, []byte("internal error"))
+		_ = w.Flush()
+		return err
+	}
+	if int64(len(s.Current())) > h.Capacity {
+		_ = writeMsg(w, msgError, []byte("device flash too small for new version"))
+		_ = w.Flush()
+		return fmt.Errorf("netupdate: device capacity %d < version %d", h.Capacity, len(s.Current()))
+	}
+	if err := writeMsg(w, msgDelta, enc); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.served += int64(len(enc))
+	s.mu.Unlock()
+
+	payload, err = readMsg(r, msgStatus)
+	if err != nil {
+		return err
+	}
+	st, err := decodeStatus(payload)
+	if err != nil {
+		return err
+	}
+	if !st.OK || st.ImageCRC != currentCRC {
+		return fmt.Errorf("netupdate: device reported failure (ok=%v crc=%08x want %08x)", st.OK, st.ImageCRC, currentCRC)
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package netupdate
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// TransferTime returns how long payload bytes take on a link of the given
+// bit rate — the arithmetic behind the paper's claim that 4–10× delta
+// compression shrinks distribution time accordingly on low-bandwidth
+// channels.
+func TransferTime(payloadBytes int64, bitsPerSecond int64) time.Duration {
+	if bitsPerSecond <= 0 {
+		return 0
+	}
+	bits := payloadBytes * 8
+	return time.Duration(float64(bits) / float64(bitsPerSecond) * float64(time.Second))
+}
+
+// ThrottledConn wraps a net.Conn and limits its read throughput to a fixed
+// bit rate, simulating the slow links (cellular, modem-era Internet) the
+// paper targets. Writes are not throttled; update traffic is dominated by
+// the server-to-device delta stream.
+type ThrottledConn struct {
+	net.Conn
+	bitsPerSecond int64
+
+	mu       sync.Mutex
+	earliest time.Time // next moment a read may complete
+}
+
+// NewThrottledConn wraps conn with a read-rate limit.
+func NewThrottledConn(conn net.Conn, bitsPerSecond int64) *ThrottledConn {
+	return &ThrottledConn{Conn: conn, bitsPerSecond: bitsPerSecond}
+}
+
+// Read implements net.Conn, delaying so that cumulative throughput stays at
+// the configured rate.
+func (t *ThrottledConn) Read(p []byte) (int, error) {
+	n, err := t.Conn.Read(p)
+	if n > 0 && t.bitsPerSecond > 0 {
+		t.mu.Lock()
+		now := time.Now()
+		if t.earliest.Before(now) {
+			t.earliest = now
+		}
+		t.earliest = t.earliest.Add(TransferTime(int64(n), t.bitsPerSecond))
+		wait := time.Until(t.earliest)
+		t.mu.Unlock()
+		if wait > 0 {
+			time.Sleep(wait)
+		}
+	}
+	return n, err
+}

@@ -1,0 +1,144 @@
+// Package stats provides the small measurement and reporting helpers the
+// experiment drivers share: ratio aggregation and aligned text tables in
+// the style of the paper's Table 1.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Aggregate accumulates a stream of float64 samples.
+type Aggregate struct {
+	n   int
+	sum float64
+	min float64
+	max float64
+}
+
+// Add records one sample.
+func (a *Aggregate) Add(v float64) {
+	if a.n == 0 || v < a.min {
+		a.min = v
+	}
+	if a.n == 0 || v > a.max {
+		a.max = v
+	}
+	a.n++
+	a.sum += v
+}
+
+// N returns the sample count.
+func (a *Aggregate) N() int { return a.n }
+
+// Mean returns the arithmetic mean, or NaN with no samples.
+func (a *Aggregate) Mean() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.sum / float64(a.n)
+}
+
+// Sum returns the sample total.
+func (a *Aggregate) Sum() float64 { return a.sum }
+
+// Min returns the smallest sample, or NaN with no samples.
+func (a *Aggregate) Min() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.min
+}
+
+// Max returns the largest sample, or NaN with no samples.
+func (a *Aggregate) Max() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.max
+}
+
+// Pct renders a fraction as a percentage with one decimal, e.g. 0.153 →
+// "15.3%".
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// Bytes renders a byte count with a binary-unit suffix.
+func Bytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends one row; cell counts need not match the header exactly
+// (short rows are padded).
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for k, c := range row {
+			if len(c) > widths[k] {
+				widths[k] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(row []string) {
+		for k := 0; k < cols; k++ {
+			cell := ""
+			if k < len(row) {
+				cell = row[k]
+			}
+			if k > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[k], cell)
+		}
+		b.WriteString("\n")
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		rule := make([]string, cols)
+		for k := range rule {
+			rule[k] = strings.Repeat("-", widths[k])
+		}
+		writeRow(rule)
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

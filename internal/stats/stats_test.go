@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAggregate(t *testing.T) {
+	var a Aggregate
+	if !math.IsNaN(a.Mean()) || !math.IsNaN(a.Min()) || !math.IsNaN(a.Max()) {
+		t.Fatal("empty aggregate must report NaN")
+	}
+	for _, v := range []float64{3, 1, 2} {
+		a.Add(v)
+	}
+	if a.N() != 3 || a.Sum() != 6 {
+		t.Fatalf("N=%d Sum=%f", a.N(), a.Sum())
+	}
+	if a.Mean() != 2 || a.Min() != 1 || a.Max() != 3 {
+		t.Fatalf("mean=%f min=%f max=%f", a.Mean(), a.Min(), a.Max())
+	}
+}
+
+func TestAggregateNegative(t *testing.T) {
+	var a Aggregate
+	a.Add(-5)
+	a.Add(5)
+	if a.Min() != -5 || a.Max() != 5 || a.Mean() != 0 {
+		t.Fatalf("%f %f %f", a.Min(), a.Max(), a.Mean())
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.153); got != "15.3%" {
+		t.Fatalf("Pct = %q", got)
+	}
+	if got := Pct(1.0); got != "100.0%" {
+		t.Fatalf("Pct = %q", got)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	tests := []struct {
+		n    int64
+		want string
+	}{
+		{512, "512B"},
+		{2048, "2.0KiB"},
+		{3 << 20, "3.0MiB"},
+		{5 << 30, "5.0GiB"},
+	}
+	for _, tt := range tests {
+		if got := Bytes(tt.n); got != tt.want {
+			t.Errorf("Bytes(%d) = %q, want %q", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		Title:   "Example",
+		Headers: []string{"name", "value"},
+	}
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("a-much-longer-name", "22")
+	tbl.AddRow("short") // short row padded
+
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, rule, 3 rows
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Example") {
+		t.Fatalf("missing title: %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "alpha") {
+		t.Fatalf("row misplaced: %q", lines[3])
+	}
+	// All data lines align: the "value" column starts at the same offset.
+	at := strings.Index(lines[1], "value")
+	if at < 0 || !strings.Contains(lines[3][at:], "1") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableNoHeaders(t *testing.T) {
+	tbl := Table{}
+	tbl.AddRow("a", "b")
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sb.String(), "\n") != 1 {
+		t.Fatalf("unexpected output: %q", sb.String())
+	}
+}

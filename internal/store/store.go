@@ -1,0 +1,287 @@
+// Package store implements delta-chain version storage in the tradition of
+// the systems the paper builds on (SCCS/RCS-style version stores and
+// delta-compressed backup): a full base image plus one delta per
+// subsequent release. Any version can be materialized, and — via delta
+// composition — a single direct delta can be produced from any stored
+// version to the newest one, ready for in-place conversion and device
+// distribution, without materializing the intermediate versions.
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"ipdelta/internal/codec"
+	"ipdelta/internal/delta"
+	"ipdelta/internal/diff"
+	"ipdelta/internal/graph"
+	"ipdelta/internal/inplace"
+)
+
+// Errors reported by the store.
+var (
+	ErrNoSuchVersion = errors.New("store: no such version")
+	ErrCorrupt       = errors.New("store: corrupt container")
+)
+
+// release is one stored version: its identity and the delta from the
+// previous version (nil for the base).
+type release struct {
+	crc    uint32
+	length int64
+	d      *delta.Delta // from release k-1 to k; nil for k == 0
+}
+
+// Store holds a release history as base + delta chain.
+type Store struct {
+	base     []byte
+	releases []release
+	algo     diff.Algorithm
+}
+
+// Option customizes a Store.
+type Option func(*Store)
+
+// WithAlgorithm selects the differencing algorithm used by AppendVersion
+// (default linear).
+func WithAlgorithm(a diff.Algorithm) Option {
+	return func(s *Store) { s.algo = a }
+}
+
+// New creates a store whose first version is base.
+func New(base []byte, opts ...Option) *Store {
+	s := &Store{
+		base: append([]byte(nil), base...),
+		algo: diff.NewLinear(),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.releases = []release{{crc: crc32.ChecksumIEEE(base), length: int64(len(base))}}
+	return s
+}
+
+// NumVersions returns how many versions the store holds.
+func (s *Store) NumVersions() int { return len(s.releases) }
+
+// AppendVersion stores a new head version as a delta against the current
+// head and returns its index.
+func (s *Store) AppendVersion(version []byte) (int, error) {
+	head, err := s.Version(len(s.releases) - 1)
+	if err != nil {
+		return 0, err
+	}
+	d, err := s.algo.Diff(head, version)
+	if err != nil {
+		return 0, fmt.Errorf("store append: %w", err)
+	}
+	s.releases = append(s.releases, release{
+		crc:    crc32.ChecksumIEEE(version),
+		length: int64(len(version)),
+		d:      d,
+	})
+	return len(s.releases) - 1, nil
+}
+
+// Version materializes version i by applying the delta chain.
+func (s *Store) Version(i int) ([]byte, error) {
+	if i < 0 || i >= len(s.releases) {
+		return nil, fmt.Errorf("%w: %d of %d", ErrNoSuchVersion, i, len(s.releases))
+	}
+	cur := append([]byte(nil), s.base...)
+	for k := 1; k <= i; k++ {
+		next, err := s.releases[k].d.Apply(cur)
+		if err != nil {
+			return nil, fmt.Errorf("store version %d: %w", i, err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// CRC returns the stored identity of version i.
+func (s *Store) CRC(i int) (uint32, int64, error) {
+	if i < 0 || i >= len(s.releases) {
+		return 0, 0, fmt.Errorf("%w: %d of %d", ErrNoSuchVersion, i, len(s.releases))
+	}
+	return s.releases[i].crc, s.releases[i].length, nil
+}
+
+// Lookup finds the version index with the given identity.
+func (s *Store) Lookup(crc uint32, length int64) (int, bool) {
+	for k, r := range s.releases {
+		if r.crc == crc && r.length == length {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// DeltaBetween returns a single delta from version i to version j (i < j)
+// by composing the stored chain — no intermediate version is materialized.
+func (s *Store) DeltaBetween(i, j int) (*delta.Delta, error) {
+	if i < 0 || j >= len(s.releases) || i > j {
+		return nil, fmt.Errorf("%w: %d..%d of %d", ErrNoSuchVersion, i, j, len(s.releases))
+	}
+	if i == j {
+		// Identity delta.
+		id := &delta.Delta{RefLen: s.releases[i].length, VersionLen: s.releases[i].length}
+		if id.RefLen > 0 {
+			id.Commands = []delta.Command{delta.NewCopy(0, 0, id.RefLen)}
+		}
+		return id, nil
+	}
+	chain := make([]*delta.Delta, 0, j-i)
+	for k := i + 1; k <= j; k++ {
+		chain = append(chain, s.releases[k].d)
+	}
+	return delta.ComposeChain(chain...)
+}
+
+// InPlaceDeltaTo returns a direct, in-place reconstructible delta from
+// version i to the newest version, composed from the chain and converted
+// with the given policy.
+func (s *Store) InPlaceDeltaTo(i int, policy graph.Policy) (*delta.Delta, *inplace.Stats, error) {
+	head := len(s.releases) - 1
+	d, err := s.DeltaBetween(i, head)
+	if err != nil {
+		return nil, nil, err
+	}
+	ref, err := s.Version(i)
+	if err != nil {
+		return nil, nil, err
+	}
+	return inplace.Convert(d, ref, inplace.WithPolicy(policy))
+}
+
+// RollbackDelta returns an in-place reconstructible delta from the newest
+// version back to version i — inversion of the composed forward chain,
+// converted for in-place application. Devices use it to downgrade without
+// the server storing backward deltas.
+func (s *Store) RollbackDelta(i int, policy graph.Policy) (*delta.Delta, *inplace.Stats, error) {
+	head := len(s.releases) - 1
+	forward, err := s.DeltaBetween(i, head)
+	if err != nil {
+		return nil, nil, err
+	}
+	old, err := s.Version(i)
+	if err != nil {
+		return nil, nil, err
+	}
+	backward, err := delta.Invert(forward, old)
+	if err != nil {
+		return nil, nil, err
+	}
+	cur, err := s.Version(head)
+	if err != nil {
+		return nil, nil, err
+	}
+	return inplace.Convert(backward, cur, inplace.WithPolicy(policy))
+}
+
+// StorageBytes returns the encoded size of the container: the base plus
+// every stored delta in the ordered wire format — the space a delta-chain
+// store saves over full copies.
+func (s *Store) StorageBytes() (int64, error) {
+	total := int64(len(s.base))
+	for _, r := range s.releases[1:] {
+		n, err := codec.EncodedSize(r.d, codec.FormatOrdered)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// FullBytes returns the total size of all versions stored as full copies,
+// for comparison against StorageBytes.
+func (s *Store) FullBytes() int64 {
+	var total int64
+	for _, r := range s.releases {
+		total += r.length
+	}
+	return total
+}
+
+// container framing for Save/Load.
+var storeMagic = [4]byte{'I', 'P', 'S', 'T'}
+
+// Save serializes the store: magic, version count, base image, then each
+// delta in the ordered wire format.
+func (s *Store) Save() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(storeMagic[:])
+	writeUvarint(&buf, uint64(len(s.releases)))
+	writeUvarint(&buf, uint64(len(s.base)))
+	buf.Write(s.base)
+	for _, r := range s.releases[1:] {
+		// Length-prefix each delta: the codec decoder buffers its reader,
+		// so deltas must be isolated when decoding from one stream.
+		var enc bytes.Buffer
+		if _, err := codec.Encode(&enc, r.d, codec.FormatOrdered); err != nil {
+			return nil, err
+		}
+		writeUvarint(&buf, uint64(enc.Len()))
+		buf.Write(enc.Bytes())
+	}
+	return buf.Bytes(), nil
+}
+
+// Load restores a store serialized by Save.
+func Load(data []byte, opts ...Option) (*Store, error) {
+	r := bytes.NewReader(data)
+	var m [4]byte
+	if _, err := r.Read(m[:]); err != nil || m != storeMagic {
+		return nil, ErrCorrupt
+	}
+	count, err := binary.ReadUvarint(r)
+	if err != nil || count == 0 {
+		return nil, ErrCorrupt
+	}
+	baseLen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	base := make([]byte, baseLen)
+	if _, err := io.ReadFull(r, base); err != nil {
+		return nil, ErrCorrupt
+	}
+	s := New(base, opts...)
+	cur := base
+	for k := uint64(1); k < count; k++ {
+		encLen, err := binary.ReadUvarint(r)
+		if err != nil || encLen > uint64(r.Len()) {
+			return nil, fmt.Errorf("%w: delta %d length", ErrCorrupt, k)
+		}
+		enc := make([]byte, encLen)
+		if _, err := io.ReadFull(r, enc); err != nil {
+			return nil, fmt.Errorf("%w: delta %d truncated", ErrCorrupt, k)
+		}
+		d, _, err := codec.Decode(bytes.NewReader(enc))
+		if err != nil {
+			return nil, fmt.Errorf("%w: delta %d: %v", ErrCorrupt, k, err)
+		}
+		next, err := d.Apply(cur)
+		if err != nil {
+			return nil, fmt.Errorf("%w: delta %d does not apply: %v", ErrCorrupt, k, err)
+		}
+		s.releases = append(s.releases, release{
+			crc:    crc32.ChecksumIEEE(next),
+			length: int64(len(next)),
+			d:      d,
+		})
+		cur = next
+	}
+	return s, nil
+}
+
+func writeUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}
