@@ -1,0 +1,65 @@
+// Command ipvet runs the project's static analyzers over the module:
+//
+//	go run ./cmd/ipvet ./...
+//
+// It exits 0 when every package is clean and 1 with file:line diagnostics
+// otherwise. Run it from the module root (the loader resolves import paths
+// against the enclosing go.mod). Individual findings can be suppressed
+// with a trailing or preceding comment:
+//
+//	//ipvet:ignore offsetsafe -- bounded by the header check above
+//
+// Use -list to print the analyzers and the invariant each one enforces.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ipdelta/internal/lint"
+	"ipdelta/internal/lint/loader"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ipvet [-list] [packages]\n\npackages are directory patterns like ./... (the default)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	l, err := loader.New(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipvet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipvet:", err)
+		os.Exit(2)
+	}
+	findings, err := lint.Run(pkgs, lint.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipvet:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "ipvet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -76,9 +76,12 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 	// real file before they reach any arithmetic or allocation.
 	const maxLen = int64(1) << 56
 	if int64(refLen) < 0 || int64(refLen) > maxLen ||
-		int64(versionLen) < 0 || int64(versionLen) > maxLen ||
-		ncmds > uint64(1)<<32 {
+		int64(versionLen) < 0 || int64(versionLen) > maxLen {
 		return nil, fmt.Errorf("%w: header lengths", ErrHugeCommand)
+	}
+	nc, err := intCount(ncmds, "command count")
+	if err != nil {
+		return nil, err
 	}
 	d := &Decoder{
 		r: cr,
@@ -86,16 +89,18 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 			Format:      f,
 			RefLen:      int64(refLen),
 			VersionLen:  int64(versionLen),
-			NumCommands: int(ncmds),
+			NumCommands: nc,
 		},
-		left: int(ncmds),
+		left: nc,
 	}
 	if f == FormatScratch {
 		n, err := cr.readUvarint()
 		if err != nil {
 			return nil, fmt.Errorf("%w: scratch length", ErrTruncated)
 		}
-		if int64(n) < 0 || int64(n) > d.hdr.VersionLen+d.hdr.RefLen {
+		// Subtraction form: n + anything could overflow, n - RefLen cannot
+		// once both header lengths are known non-negative and bounded.
+		if int64(n) < 0 || int64(n)-d.hdr.RefLen > d.hdr.VersionLen {
 			return nil, fmt.Errorf("%w: scratch length", ErrHugeCommand)
 		}
 		d.hdr.ScratchLen = int64(n)
@@ -105,10 +110,10 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: compact copy count", ErrTruncated)
 		}
-		if int64(n) > int64(ncmds) {
+		if n > ncmds {
 			return nil, fmt.Errorf("%w: copy section larger than command count", ErrHugeCommand)
 		}
-		d.copiesLeft = int(n)
+		d.copiesLeft = int(n) // n <= ncmds, already bounded by intCount
 		d.addsLeft = -1 // read lazily when the copy section is done
 	}
 	return d, nil
@@ -243,6 +248,15 @@ func (d *Decoder) readData(l int64) ([]byte, error) {
 		}
 	}
 	return data, nil
+}
+
+// intCount converts an untrusted wire count to int, rejecting values that
+// do not fit in 31 bits so decoder state stays valid on 32-bit platforms.
+func intCount(v uint64, what string) (int, error) {
+	if v > 1<<31-1 {
+		return 0, fmt.Errorf("%w: %s", ErrHugeCommand, what)
+	}
+	return int(v), nil
 }
 
 func min64(a, b int64) int64 {
@@ -384,7 +398,11 @@ func (d *Decoder) compactCommand() (delta.Command, error) {
 		if err != nil {
 			return delta.Command{}, fmt.Errorf("%w: compact add count", ErrTruncated)
 		}
-		d.addsLeft = int(n)
+		nAdds, err := intCount(n, "compact add count")
+		if err != nil {
+			return delta.Command{}, err
+		}
+		d.addsLeft = nAdds
 		d.next = 0
 	}
 	if d.addsLeft == 0 {

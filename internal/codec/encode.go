@@ -285,6 +285,11 @@ func (e *encoder) legacyCommand(c delta.Command, offsets bool) error {
 	}
 	switch c.Op {
 	case delta.OpAdd:
+		// Long adds are split into <=255-byte codewords before reaching
+		// here; refuse rather than truncate if that invariant breaks.
+		if c.Length > legacyMaxAdd {
+			return fmt.Errorf("codec: legacy add length %d exceeds %d", c.Length, legacyMaxAdd)
+		}
 		if err := e.w.writeByte(legacyOpAdd); err != nil {
 			return err
 		}

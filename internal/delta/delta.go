@@ -194,6 +194,7 @@ var (
 	ErrOverlap        = errors.New("write intervals overlap")
 	ErrCoverage       = errors.New("commands do not cover the version file")
 	ErrAddLength      = errors.New("add length disagrees with data")
+	ErrFileLength     = errors.New("negative file length")
 )
 
 // ValidationError reports which command of a delta violated which rule.
@@ -252,16 +253,22 @@ func (d *Delta) validateCommand(c Command) error {
 	default:
 		return ErrBadOp
 	}
+	if d.RefLen < 0 || d.VersionLen < 0 {
+		return ErrFileLength
+	}
 	if c.From < 0 || c.To < 0 {
 		return ErrNegativeOffset
 	}
 	if c.Length <= 0 {
 		return ErrZeroLength
 	}
-	if (c.Op == OpCopy || c.Op == OpStash) && c.From+c.Length > d.RefLen {
+	// Bounds checks use the subtraction form: From+Length can wrap negative
+	// for hostile 63-bit values and slip past an additive comparison, while
+	// limit-Length cannot overflow once lengths are known non-negative.
+	if (c.Op == OpCopy || c.Op == OpStash) && c.From > d.RefLen-c.Length {
 		return ErrReadOOB
 	}
-	if c.Op != OpStash && c.To+c.Length > d.VersionLen {
+	if c.Op != OpStash && c.To > d.VersionLen-c.Length {
 		return ErrWriteOOB
 	}
 	return nil

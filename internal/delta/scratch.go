@@ -71,7 +71,9 @@ func (d *Delta) validateScratch() error {
 			if c.Length <= 0 {
 				return &ValidationError{Index: k, Cmd: c, Cause: ErrZeroLength}
 			}
-			if c.From+c.Length > d.RefLen {
+			// Subtraction form so a hostile 63-bit From+Length cannot wrap
+			// negative past the comparison (Length > 0 was checked above).
+			if c.From > d.RefLen-c.Length {
 				return &ValidationError{Index: k, Cmd: c, Cause: ErrReadOOB}
 			}
 			stashed += c.Length
@@ -82,7 +84,7 @@ func (d *Delta) validateScratch() error {
 			if c.Length <= 0 {
 				return &ValidationError{Index: k, Cmd: c, Cause: ErrZeroLength}
 			}
-			if c.To+c.Length > d.VersionLen {
+			if c.To > d.VersionLen-c.Length {
 				return &ValidationError{Index: k, Cmd: c, Cause: ErrWriteOOB}
 			}
 			consumed += c.Length
@@ -108,7 +110,9 @@ func (s *scratchState) stash(p []byte) { s.buf = append(s.buf, p...) }
 
 // unstash returns the next n bytes in FIFO order.
 func (s *scratchState) unstash(n int64) ([]byte, error) {
-	if s.read+n > int64(len(s.buf)) {
+	// s.read never exceeds len(s.buf), so the subtraction cannot overflow
+	// even when a hostile command carries a near-MaxInt64 length.
+	if n > int64(len(s.buf))-s.read {
 		return nil, ErrScratchUnderflow
 	}
 	out := s.buf[s.read : s.read+n]

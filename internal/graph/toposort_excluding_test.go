@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkTopoOrder fails unless order is a permutation of the unremoved
+// vertices that respects every edge of the restricted graph.
+func checkTopoOrder(t *testing.T, g *Digraph, removed []bool, order []int) {
+	t.Helper()
+	pos := make(map[int]int, len(order))
+	for i, v := range order {
+		if removed != nil && removed[v] {
+			t.Fatalf("order %v contains removed vertex %d", order, v)
+		}
+		if _, dup := pos[v]; dup {
+			t.Fatalf("order %v lists vertex %d twice", order, v)
+		}
+		pos[v] = i
+	}
+	want := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if removed == nil || !removed[v] {
+			want++
+		}
+	}
+	if len(order) != want {
+		t.Fatalf("order has %d vertices, want %d", len(order), want)
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		if removed != nil && removed[u] {
+			continue
+		}
+		for _, w := range g.Succ(u) {
+			v := int(w)
+			if removed != nil && removed[v] {
+				continue
+			}
+			if pos[u] >= pos[v] {
+				t.Fatalf("edge %d->%d violated by order %v", u, v, order)
+			}
+		}
+	}
+}
+
+func TestTopoSortExcludingEmptyExclusion(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	// nil and all-false exclusions are both "exclude nothing".
+	for _, removed := range [][]bool{nil, make([]bool, 4)} {
+		order, ok := TopoSortExcluding(g, removed)
+		if !ok {
+			t.Fatalf("DAG with removed=%v reported cyclic", removed)
+		}
+		checkTopoOrder(t, g, removed, order)
+	}
+}
+
+func TestTopoSortExcludingCycleThroughExcludedVertex(t *testing.T) {
+	// 0 -> 1 -> 2 -> 0 is a cycle; excluding vertex 1 breaks it, so the
+	// restricted graph must sort.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 3)
+
+	if _, ok := TopoSortExcluding(g, nil); ok {
+		t.Fatal("cyclic graph sorted with no exclusions")
+	}
+	removed := []bool{false, true, false, false}
+	order, ok := TopoSortExcluding(g, removed)
+	if !ok {
+		t.Fatal("cycle through excluded vertex still reported")
+	}
+	checkTopoOrder(t, g, removed, order)
+}
+
+func TestTopoSortExcludingCycleOutsideExclusion(t *testing.T) {
+	// Excluding vertex 3 does not touch the 0-1-2 cycle: still cyclic.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(3, 0)
+	order, ok := TopoSortExcluding(g, []bool{false, false, false, true})
+	if ok {
+		t.Fatalf("cycle survived the exclusion but sort returned %v", order)
+	}
+	if order != nil {
+		t.Fatalf("failed sort should return nil order, got %v", order)
+	}
+}
+
+func TestTopoSortExcludingAllExcluded(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	order, ok := TopoSortExcluding(g, []bool{true, true, true})
+	if !ok || len(order) != 0 {
+		t.Fatalf("fully excluded graph: order=%v ok=%v, want empty order and true", order, ok)
+	}
+}
+
+func TestTopoSortExcludingEmptyGraph(t *testing.T) {
+	order, ok := TopoSortExcluding(New(0), nil)
+	if !ok || len(order) != 0 {
+		t.Fatalf("empty graph: order=%v ok=%v", order, ok)
+	}
+}
+
+// TestTopoSortExcludingAgainstIsAcyclic cross-checks the two traversals on
+// random graphs with random exclusion sets: both must agree on cyclicity,
+// and every successful order must be a valid topological order.
+func TestTopoSortExcludingAgainstIsAcyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		g := New(n)
+		for e := 0; e < rng.Intn(3*n); e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		removed := make([]bool, n)
+		for v := range removed {
+			removed[v] = rng.Intn(3) == 0
+		}
+		order, ok := TopoSortExcluding(g, removed)
+		if want := g.IsAcyclicWithout(removed); ok != want {
+			t.Fatalf("trial %d: TopoSortExcluding ok=%v, IsAcyclicWithout=%v", trial, ok, want)
+		}
+		if ok {
+			checkTopoOrder(t, g, removed, order)
+		}
+	}
+}

@@ -41,6 +41,12 @@ func ConvertBatch(jobs []Job, workers int, opts ...Option) []Result {
 	if len(jobs) == 0 {
 		return results
 	}
+	// The worker goroutines read these slices concurrently; copy both so a
+	// caller reusing or appending to its slices after ConvertBatch returns
+	// cannot race the pool (the aliascheck analyzer enforces this
+	// convention for every exported slice parameter).
+	jobs = append([]Job(nil), jobs...)
+	opts = append([]Option(nil), opts...)
 
 	work := make(chan int)
 	var wg sync.WaitGroup

@@ -120,7 +120,8 @@ func AdversarialDelta(depth, leafLen int) *delta.Delta {
 	// Cover every gap byte with adds so the delta is valid.
 	covered := make([]bool, versionLen)
 	for v := 0; v < n; v++ {
-		for p := to[v]; p < to[v]+length[v]; p++ {
+		end := to[v] + length[v]
+		for p := to[v]; p < end; p++ {
 			covered[p] = true
 		}
 	}

@@ -1,0 +1,203 @@
+// Package aliascheck enforces the ownership convention of the conversion
+// API: a caller-provided slice (commands, reference bytes, options) handed
+// to an exported function of the offset-bearing packages is owned by the
+// caller for the duration of the call only. The implementation must not
+// retain it in a field, send it to another goroutine, or mutate it —
+// silent aliasing is exactly how an in-place batch conversion corrupts a
+// neighbouring job's command list.
+//
+// Flagged, for an exported function with slice parameter p:
+//
+//   - x.field = p            (or = p[i:j], = append(p, ...))   retention
+//   - ch <- p                (directly or inside a composite)  cross-goroutine
+//   - go func() { ... p ... }()                                cross-goroutine
+//   - p[i] = v, copy(p, ...)                                   mutation
+//
+// The defensive-copy idiom clears the taint: after
+//
+//	p = append([]T(nil), p...)
+//
+// (any reassignment whose right side does not alias p) later uses of p
+// refer to the copy and are accepted.
+package aliascheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"ipdelta/internal/lint/analysis"
+)
+
+// PackagePattern limits the analyzer to the packages whose exported API
+// carries the in-place safety contract.
+var PackagePattern = regexp.MustCompile(`(^|/)(codec|delta|inplace)$`)
+
+// Analyzer is the aliascheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "aliascheck",
+	Doc: "flags exported functions that retain, mutate, or share across goroutines " +
+		"a caller-provided slice instead of copying it",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !PackagePattern.MatchString(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			for _, p := range sliceParams(pass, fn) {
+				checkParam(pass, fn, p)
+			}
+		}
+	}
+	return nil
+}
+
+// sliceParams returns the parameter objects of fn with slice type
+// (including variadic parameters, which are slices in the body).
+func sliceParams(pass *analysis.Pass, fn *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.ObjectOf(name)
+			if obj == nil {
+				continue
+			}
+			if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+func checkParam(pass *analysis.Pass, fn *ast.FuncDecl, param types.Object) {
+	// clearedAt is the position after which the parameter no longer
+	// aliases caller memory, because it was reassigned to a copy.
+	clearedAt := token.Pos(-1)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && pass.ObjectOf(id) == param {
+				if i < len(as.Rhs) && aliases(pass, as.Rhs[i], param) {
+					continue // p = p[1:] keeps the alias
+				}
+				if clearedAt == token.Pos(-1) || as.End() < clearedAt {
+					clearedAt = as.End()
+				}
+			}
+		}
+		return true
+	})
+	tainted := func(pos token.Pos) bool {
+		return clearedAt == token.Pos(-1) || pos < clearedAt
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				lhs = ast.Unparen(lhs)
+				// Mutation through the parameter: p[i] = v.
+				if ix, ok := lhs.(*ast.IndexExpr); ok && tainted(s.Pos()) &&
+					aliases(pass, ix.X, param) {
+					pass.Reportf(s.Pos(),
+						"exported %s mutates caller-provided slice %q; operate on a copy",
+						fn.Name.Name, param.Name())
+				}
+				// Retention: x.field = p (or an alias of p).
+				if _, ok := lhs.(*ast.SelectorExpr); ok && i < len(s.Rhs) &&
+					tainted(s.Pos()) && leaks(pass, s.Rhs[i], param) {
+					pass.Reportf(s.Pos(),
+						"exported %s stores caller-provided slice %q in a field; the caller can corrupt it after the call returns",
+						fn.Name.Name, param.Name())
+				}
+			}
+		case *ast.SendStmt:
+			if tainted(s.Pos()) && leaks(pass, s.Value, param) {
+				pass.Reportf(s.Pos(),
+					"exported %s sends caller-provided slice %q to another goroutine; copy it first",
+					fn.Name.Name, param.Name())
+			}
+		case *ast.GoStmt:
+			if fl, ok := s.Call.Fun.(*ast.FuncLit); ok && tainted(s.Pos()) &&
+				mentions(pass, fl.Body, param) {
+				pass.Reportf(s.Pos(),
+					"goroutine in exported %s captures caller-provided slice %q; copy it before spawning (%s = append([]T(nil), %s...))",
+					fn.Name.Name, param.Name(), param.Name(), param.Name())
+			}
+		case *ast.ExprStmt:
+			// copy(p, ...) writes through the parameter.
+			if call, ok := s.X.(*ast.CallExpr); ok && tainted(s.Pos()) {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "copy" &&
+					len(call.Args) == 2 && aliases(pass, call.Args[0], param) {
+					pass.Reportf(s.Pos(),
+						"exported %s mutates caller-provided slice %q via copy; operate on a copy",
+						fn.Name.Name, param.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// aliases reports whether e shares backing storage with the parameter:
+// p itself, a subslice p[i:j], or append(p, ...).
+func aliases(pass *analysis.Pass, e ast.Expr, param types.Object) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pass.ObjectOf(e) == param
+	case *ast.SliceExpr:
+		return aliases(pass, e.X, param)
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "append" && len(e.Args) > 0 {
+			return aliases(pass, e.Args[0], param)
+		}
+	}
+	return false
+}
+
+// leaks reports whether storing or sending e publishes memory aliased to
+// the parameter: an alias of p, or a composite literal carrying one
+// (Job{Cmds: p}, []T{p}, &T{...}). append([]T(nil), p...) copies and does
+// not leak.
+func leaks(pass *analysis.Pass, e ast.Expr, param types.Object) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if leaks(pass, elt, param) {
+				return true
+			}
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return leaks(pass, e.X, param)
+		}
+	}
+	return aliases(pass, e, param)
+}
+
+// mentions reports whether body references the parameter at all.
+func mentions(pass *analysis.Pass, body ast.Node, param types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.ObjectOf(id) == param {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

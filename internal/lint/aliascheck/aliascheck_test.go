@@ -1,0 +1,18 @@
+package aliascheck_test
+
+import (
+	"testing"
+
+	"ipdelta/internal/lint/aliascheck"
+	"ipdelta/internal/lint/analysistest"
+)
+
+func TestAliascheck(t *testing.T) {
+	// "inplace" is in scope and holds the positive and negative cases;
+	// "other" repeats the violations outside the analyzer's package scope.
+	for _, pkg := range []string{"inplace", "other"} {
+		t.Run(pkg, func(t *testing.T) {
+			analysistest.Run(t, aliascheck.Analyzer, pkg)
+		})
+	}
+}

@@ -1,0 +1,83 @@
+// Test package for the aliascheck analyzer. Named inplace so it falls in
+// the analyzer's package scope; the types mirror the conversion API shape
+// (command slices, option slices, batch jobs).
+package inplace
+
+type Cmd struct{ From, To, Length int64 }
+
+type pool struct {
+	cmds []Cmd
+}
+
+// Retaining the caller's slice in a field aliases it past the call.
+func (p *pool) Retain(cmds []Cmd) {
+	p.cmds = cmds // want `stores caller-provided slice`
+}
+
+// Retaining a subslice is the same bug.
+func (p *pool) RetainTail(cmds []Cmd) {
+	p.cmds = cmds[1:] // want `stores caller-provided slice`
+}
+
+// Storing a fresh copy is the sanctioned idiom.
+func (p *pool) RetainCopy(cmds []Cmd) {
+	p.cmds = append([]Cmd(nil), cmds...)
+}
+
+// Writing through the parameter mutates caller memory.
+func Mutate(cmds []Cmd) {
+	cmds[0] = Cmd{} // want `mutates caller-provided slice`
+}
+
+// After a defensive copy the writes hit private memory.
+func MutateCopy(cmds []Cmd) {
+	cmds = append([]Cmd(nil), cmds...)
+	cmds[0] = Cmd{}
+}
+
+// copy with the parameter as destination is also a mutation.
+func Fill(dst []byte, b byte) {
+	copy(dst, []byte{b}) // want `mutates caller-provided slice`
+}
+
+// A worker goroutine capturing the parameter races the caller.
+func Spawn(cmds []Cmd, done chan struct{}) {
+	go func() { // want `captures caller-provided slice`
+		_ = cmds[0]
+		close(done)
+	}()
+}
+
+func SpawnCopy(cmds []Cmd, done chan struct{}) {
+	cmds = append([]Cmd(nil), cmds...)
+	go func() {
+		_ = cmds[0]
+		close(done)
+	}()
+}
+
+type job struct{ cmds []Cmd }
+
+// Sending the slice (inside a composite literal) hands it to another
+// goroutine.
+func Send(ch chan job, cmds []Cmd) {
+	ch <- job{cmds: cmds} // want `sends caller-provided slice`
+}
+
+func SendCopy(ch chan job, cmds []Cmd) {
+	ch <- job{cmds: append([]Cmd(nil), cmds...)}
+}
+
+// Unexported helpers are internal plumbing, not the API contract.
+func retain(p *pool, cmds []Cmd) {
+	p.cmds = cmds
+}
+
+// Reading the parameter is always fine.
+func Sum(cmds []Cmd) int64 {
+	var total int64
+	for _, c := range cmds {
+		total += c.Length
+	}
+	return total
+}

@@ -1,0 +1,9 @@
+// Outside the analyzer's package scope the same retention pattern is an
+// ordinary constructor and passes silently.
+package other
+
+type box struct{ data []byte }
+
+func (b *box) Set(data []byte) {
+	b.data = data
+}

@@ -1,0 +1,77 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis API, built only on the standard library's
+// go/ast and go/types. The container this repository grows in has no module
+// proxy access, so rather than vendoring x/tools we implement the small
+// surface the ipvet analyzers need: an Analyzer descriptor, a per-package
+// Pass carrying syntax plus type information, and positional Diagnostics.
+//
+// The shape deliberately mirrors x/tools so the analyzers can be ported to
+// the real framework by changing one import if the dependency ever becomes
+// available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//ipvet:ignore <name>" suppression comments. It must be a valid
+	// Go identifier.
+	Name string
+	// Doc is the one-paragraph description shown by `ipvet -help`.
+	Doc string
+	// Run applies the analyzer to one package. Diagnostics are delivered
+	// through pass.Report; the error return is for operational failures
+	// (not findings).
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries everything an analyzer may inspect about one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver installs this; analyzers
+	// normally use Reportf.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// ObjectOf returns the object denoted by ident, or nil.
+func (p *Pass) ObjectOf(ident *ast.Ident) types.Object {
+	if o := p.TypesInfo.Defs[ident]; o != nil {
+		return o
+	}
+	return p.TypesInfo.Uses[ident]
+}
+
+// Inspect walks every file of the pass in depth-first order, calling f for
+// each node; f returning false prunes the subtree (ast.Inspect semantics).
+func (p *Pass) Inspect(f func(ast.Node) bool) {
+	for _, file := range p.Files {
+		ast.Inspect(file, f)
+	}
+}

@@ -1,0 +1,119 @@
+// Package analysistest runs an analyzer over a self-contained testdata
+// package and checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on top of the offline
+// loader.
+//
+// A test package lives in testdata/src/<name>/ under the analyzer's
+// directory. Each line that should be flagged carries a trailing comment
+//
+//	x := int(v) // want `narrowing conversion`
+//
+// with one backquoted or quoted regular expression per expected
+// diagnostic on that line. Lines without a want comment must produce no
+// diagnostics.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ipdelta/internal/lint/analysis"
+	"ipdelta/internal/lint/loader"
+)
+
+var wantRE = regexp.MustCompile("(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run applies a to testdata/src/<pkgname> (relative to the test's working
+// directory, i.e. the analyzer package) and reports mismatches through t.
+func Run(t *testing.T, a *analysis.Analyzer, pkgname string) {
+	t.Helper()
+	l, err := loader.New(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := l.LoadDir("testdata/src/"+pkgname, pkgname)
+	if err != nil {
+		t.Fatalf("load %s: %v", pkgname, err)
+	}
+
+	// Collect // want expectations per "file:line".
+	wants := map[string][]*expectation{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+					continue
+				}
+				key := lineKey(pkg.Fset, c.Pos())
+				for _, q := range wantRE.FindAllString(text[idx+len("want "):], -1) {
+					pattern := q[1 : len(q)-1]
+					if q[0] == '"' {
+						if p, err := strconv.Unquote(q); err == nil {
+							pattern = p
+						}
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", key, q, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		if pkg.Ignored(a.Name, d.Pos) {
+			continue
+		}
+		key := lineKey(pkg.Fset, d.Pos)
+		exps := wants[key]
+		found := false
+		for _, e := range exps {
+			if !e.matched && e.re.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pkg.Fset.Position(d.Pos), d.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, e.re)
+			}
+		}
+	}
+}
+
+func lineKey(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+}

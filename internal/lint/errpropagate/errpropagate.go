@@ -1,0 +1,124 @@
+// Package errpropagate flags dropped errors on the paths where an ignored
+// error silently corrupts user data: calls into the codec (decode/encode)
+// and the version store. A truncated decode or a failed store append that
+// the caller shrugs off is indistinguishable from success until a device
+// flashes a bad image, so every error from these packages must reach a
+// variable or an explicit //ipvet:ignore.
+//
+// Flagged:
+//
+//	codec.Encode(w, d, f)            // call statement, error unused
+//	v, _ := s.Version(i)             // error assigned to blank
+//	defer enc.Close()                // deferred call, error unused
+//	go s.AppendVersion(v)            // goroutine call, error unused
+//
+// Only callees defined in the target packages are checked; the analyzer is
+// a scoped errcheck, not a general one.
+package errpropagate
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"ipdelta/internal/lint/analysis"
+)
+
+// CalleePattern selects the packages whose errors must propagate.
+var CalleePattern = regexp.MustCompile(`(^|/)(codec|store|delta|inplace)$`)
+
+// Analyzer is the errpropagate analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "errpropagate",
+	Doc: "flags dropped errors from codec decode/encode, delta validation, " +
+		"and store I/O calls",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			check(pass, s.X)
+		case *ast.DeferStmt:
+			check(pass, s.Call)
+		case *ast.GoStmt:
+			check(pass, s.Call)
+		case *ast.AssignStmt:
+			checkBlank(pass, s)
+		}
+		return true
+	})
+	return nil
+}
+
+// check reports a bare call whose error result vanishes.
+func check(pass *analysis.Pass, e ast.Expr) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, ok := targetCallee(pass, call)
+	if !ok || len(errorIndexes(pass, call)) == 0 {
+		return
+	}
+	pass.Reportf(call.Pos(), "error returned by %s is dropped; handle or assign it", name)
+}
+
+// checkBlank reports err-position blanks in `v, _ := pkg.F()`.
+func checkBlank(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, ok := targetCallee(pass, call)
+	if !ok {
+		return
+	}
+	for _, idx := range errorIndexes(pass, call) {
+		if idx < len(as.Lhs) {
+			if id, ok := as.Lhs[idx].(*ast.Ident); ok && id.Name == "_" {
+				pass.Reportf(as.Pos(), "error returned by %s is assigned to _; handle or propagate it", name)
+			}
+		}
+	}
+}
+
+// targetCallee resolves the called function and reports whether it is
+// defined in one of the target packages, returning a printable name.
+func targetCallee(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", false
+	}
+	fn, ok := pass.ObjectOf(id).(*types.Func)
+	if !ok || fn.Pkg() == nil || !CalleePattern.MatchString(fn.Pkg().Path()) {
+		return "", false
+	}
+	return fn.Pkg().Name() + "." + fn.Name(), true
+}
+
+// errorIndexes returns the result positions of type error.
+func errorIndexes(pass *analysis.Pass, call *ast.CallExpr) []int {
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []int
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok &&
+			named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}

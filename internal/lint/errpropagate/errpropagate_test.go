@@ -1,0 +1,16 @@
+package errpropagate_test
+
+import (
+	"testing"
+
+	"ipdelta/internal/lint/analysistest"
+	"ipdelta/internal/lint/errpropagate"
+)
+
+func TestErrpropagate(t *testing.T) {
+	for _, pkg := range []string{"codec"} {
+		t.Run(pkg, func(t *testing.T) {
+			analysistest.Run(t, errpropagate.Analyzer, pkg)
+		})
+	}
+}

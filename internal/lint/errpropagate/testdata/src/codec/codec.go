@@ -1,0 +1,49 @@
+// Test package for the errpropagate analyzer. Named codec so its own
+// functions count as target callees, the way the real codec package's do.
+package codec
+
+import (
+	"errors"
+	"fmt"
+)
+
+func Decode() ([]byte, error) { return nil, errors.New("truncated") }
+
+func Encode(p []byte) error { return nil }
+
+func helper() {}
+
+func DropStmt() {
+	Encode(nil) // want `error returned by codec.Encode is dropped`
+	helper()
+}
+
+func DropBlank() []byte {
+	b, _ := Decode() // want `assigned to _`
+	return b
+}
+
+func Handled() ([]byte, error) {
+	b, err := Decode()
+	if err != nil {
+		return nil, err
+	}
+	return b, Encode(b)
+}
+
+func DropDefer() {
+	defer Encode(nil) // want `dropped`
+}
+
+func DropGo() {
+	go Encode(nil) // want `dropped`
+}
+
+func Suppressed() {
+	Encode(nil) //ipvet:ignore errpropagate -- best-effort prewarm
+}
+
+// Errors from non-target packages are someone else's policy.
+func PrintOK() {
+	fmt.Println("ok")
+}

@@ -1,0 +1,285 @@
+// Package loader enumerates and typechecks the module's packages for the
+// ipvet analyzers. It is a small, offline replacement for
+// golang.org/x/tools/go/packages: files are parsed with go/parser and
+// typechecked with go/types using the compiler's source importer, so the
+// whole pipeline works from a clean checkout with no module proxy.
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one typechecked package.
+type Package struct {
+	// PkgPath is the import path ("ipdelta/internal/codec").
+	PkgPath string
+	// Dir is the absolute directory holding the package's files.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	// TypesInfo has Types, Defs, Uses and Selections populated for every
+	// file in Files.
+	TypesInfo *types.Info
+
+	// ignores maps "filename:line" to the analyzer names suppressed on
+	// that line by //ipvet:ignore comments ("*" suppresses all).
+	ignores map[string]map[string]bool
+}
+
+// Ignored reports whether a diagnostic from the named analyzer at pos is
+// suppressed by an //ipvet:ignore comment on the same line or the line
+// directly above.
+func (p *Package) Ignored(analyzer string, pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	names := p.ignores[fmt.Sprintf("%s:%d", position.Filename, position.Line)]
+	return names != nil && (names["*"] || names[analyzer])
+}
+
+// Loader typechecks packages with a shared FileSet and importer so that
+// dependencies are only typechecked once per process.
+type Loader struct {
+	fset    *token.FileSet
+	imp     types.Importer
+	modRoot string
+	modPath string
+	cache   map[string]*Package // by absolute dir
+}
+
+// New locates the enclosing module (walking up from dir, "" meaning the
+// working directory) and returns a loader for it.
+func New(dir string) (*Loader, error) {
+	if dir == "" {
+		dir = "."
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, path, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:    fset,
+		imp:     importer.ForCompiler(fset, "source", nil),
+		modRoot: root,
+		modPath: path,
+		cache:   map[string]*Package{},
+	}, nil
+}
+
+// ModuleRoot returns the directory containing go.mod.
+func (l *Loader) ModuleRoot() string { return l.modRoot }
+
+// findModule walks up from dir to the first go.mod and parses its module
+// path.
+func findModule(dir string) (root, path string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("loader: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("loader: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// Load resolves patterns to packages. A pattern is a directory path,
+// optionally ending in "/..." to include every package under it (testdata,
+// hidden and underscore-prefixed directories are skipped, matching the go
+// tool's rules).
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var dirs []string
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			base := filepath.Clean(strings.TrimSuffix(rest, "/"))
+			if base == "" {
+				base = "."
+			}
+			err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if p != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(p) {
+					dirs = append(dirs, p)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			dirs = append(dirs, filepath.Clean(pat))
+		}
+	}
+	var pkgs []*Package
+	seen := map[string]bool{}
+	for _, dir := range dirs {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return nil, err
+		}
+		if seen[abs] {
+			continue
+		}
+		seen[abs] = true
+		pkg, err := l.LoadDir(dir, "")
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir parses and typechecks the single package in dir. importPath
+// overrides the path derived from the module layout; analysis tests use it
+// to load self-contained testdata packages.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if p, ok := l.cache[abs]; ok && importPath == "" {
+		return p, nil
+	}
+	if importPath == "" {
+		rel, err := filepath.Rel(l.modRoot, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("loader: %s is outside module %s", abs, l.modPath)
+		}
+		if rel == "." {
+			importPath = l.modPath
+		} else {
+			importPath = l.modPath + "/" + filepath.ToSlash(rel)
+		}
+	}
+	ents, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(abs, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("loader: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: typecheck %s: %w", importPath, err)
+	}
+	pkg := &Package{
+		PkgPath:   importPath,
+		Dir:       abs,
+		Fset:      l.fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+		ignores:   collectIgnores(l.fset, files),
+	}
+	l.cache[abs] = pkg
+	return pkg, nil
+}
+
+// collectIgnores indexes //ipvet:ignore comments. A directive suppresses
+// diagnostics on its own line and on the next line, so it can trail the
+// flagged statement or sit on its own line above it. Syntax:
+//
+//	//ipvet:ignore name1,name2 -- reason
+//	//ipvet:ignore -- reason      (suppresses every analyzer)
+func collectIgnores(fset *token.FileSet, files []*ast.File) map[string]map[string]bool {
+	ignores := map[string]map[string]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//ipvet:ignore")
+				if !ok {
+					continue
+				}
+				if reason, _, found := strings.Cut(text, "--"); found {
+					text = reason
+				}
+				names := map[string]bool{}
+				for _, n := range strings.FieldsFunc(text, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+					names[n] = true
+				}
+				if len(names) == 0 {
+					names["*"] = true
+				}
+				pos := fset.Position(c.Pos())
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					key := fmt.Sprintf("%s:%d", pos.Filename, line)
+					if ignores[key] == nil {
+						ignores[key] = map[string]bool{}
+					}
+					for n := range names {
+						ignores[key][n] = true
+					}
+				}
+			}
+		}
+	}
+	return ignores
+}

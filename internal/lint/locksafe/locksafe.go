@@ -1,0 +1,210 @@
+// Package locksafe cross-checks mutex discipline: for every struct that
+// embeds a sync.Mutex or sync.RWMutex, a field written under the lock in
+// one method must not be written without it in another. This is the bug
+// class `go test -race` only catches when a test happens to race the two
+// paths; the analyzer catches it from the method set alone.
+//
+// Classification is intentionally lexical: a write in a method counts as
+// locked when a Lock() call on the receiver's mutex appears earlier in the
+// same method body (deferred Unlock is the dominant idiom in this
+// codebase, so no Unlock tracking is attempted). RLock does not license a
+// write. Only writes through the receiver in methods are considered —
+// constructors building a not-yet-shared value are exempt by construction.
+package locksafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ipdelta/internal/lint/analysis"
+)
+
+// Analyzer is the locksafe analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc: "flags struct fields written both under and outside the struct's " +
+		"mutex across its method set",
+	Run: run,
+}
+
+type write struct {
+	pos    token.Pos
+	method string
+	locked bool
+}
+
+func run(pass *analysis.Pass) error {
+	// structType -> mutex field names.
+	mutexFields := map[*types.Named]map[string]bool{}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if isMutex(f.Type()) {
+				if mutexFields[named] == nil {
+					mutexFields[named] = map[string]bool{}
+				}
+				mutexFields[named][f.Name()] = true
+			}
+		}
+	}
+	if len(mutexFields) == 0 {
+		return nil
+	}
+
+	// (structType, field) -> writes across the whole method set.
+	writes := map[*types.Named]map[string][]write{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil || len(fn.Recv.List) == 0 {
+				continue
+			}
+			var recvObj types.Object
+			if names := fn.Recv.List[0].Names; len(names) > 0 {
+				recvObj = pass.ObjectOf(names[0])
+			}
+			if recvObj == nil {
+				continue
+			}
+			named := namedOf(recvObj.Type())
+			if named == nil || mutexFields[named] == nil {
+				continue
+			}
+			collectWrites(pass, fn, recvObj, named, mutexFields[named], writes)
+		}
+	}
+
+	for named, byField := range writes {
+		for field, ws := range byField {
+			anyLocked := false
+			for _, w := range ws {
+				if w.locked {
+					anyLocked = true
+					break
+				}
+			}
+			if !anyLocked {
+				continue // field is not mutex-protected anywhere
+			}
+			for _, w := range ws {
+				if !w.locked {
+					pass.Reportf(w.pos,
+						"%s.%s is written in %s without the mutex that guards its other writes",
+						named.Obj().Name(), field, w.method)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func isMutex(t types.Type) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// collectWrites records every field write through recvObj in fn,
+// classified by whether a Lock() on one of the struct's mutex fields
+// precedes it lexically.
+func collectWrites(pass *analysis.Pass, fn *ast.FuncDecl, recvObj types.Object,
+	named *types.Named, mutexes map[string]bool, writes map[*types.Named]map[string][]write) {
+
+	// Positions of recv.<mutex>.Lock() calls.
+	var lockPositions []token.Pos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Lock" {
+			return true
+		}
+		// recv.mu.Lock(): the lock receiver is itself a selector on recv.
+		if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(inner.X).(*ast.Ident); ok &&
+				pass.ObjectOf(id) == recvObj && mutexes[inner.Sel.Name] {
+				lockPositions = append(lockPositions, call.Pos())
+			}
+		}
+		return true
+	})
+	lockedAt := func(pos token.Pos) bool {
+		for _, lp := range lockPositions {
+			if lp < pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	record := func(field string, pos token.Pos) {
+		if mutexes[field] {
+			return // the mutex itself
+		}
+		if writes[named] == nil {
+			writes[named] = map[string][]write{}
+		}
+		writes[named][field] = append(writes[named][field],
+			write{pos: pos, method: fn.Name.Name, locked: lockedAt(pos)})
+	}
+	// fieldOf returns the receiver field name written when lhs is
+	// recv.f, recv.f[i], or recv.f[i:j].
+	var fieldOf func(e ast.Expr) (string, bool)
+	fieldOf = func(e ast.Expr) (string, bool) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(e.X).(*ast.Ident); ok && pass.ObjectOf(id) == recvObj {
+				return e.Sel.Name, true
+			}
+		case *ast.IndexExpr:
+			return fieldOf(e.X)
+		case *ast.SliceExpr:
+			return fieldOf(e.X)
+		}
+		return "", false
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if f, ok := fieldOf(lhs); ok {
+					record(f, s.Pos())
+				}
+			}
+		case *ast.IncDecStmt:
+			if f, ok := fieldOf(s.X); ok {
+				record(f, s.Pos())
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,16 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"ipdelta/internal/lint/analysistest"
+	"ipdelta/internal/lint/locksafe"
+)
+
+func TestLocksafe(t *testing.T) {
+	for _, pkg := range []string{"netupdate"} {
+		t.Run(pkg, func(t *testing.T) {
+			analysistest.Run(t, locksafe.Analyzer, pkg)
+		})
+	}
+}

@@ -1,0 +1,220 @@
+// Package offsetsafe checks the arithmetic hygiene of delta offsets. The
+// file formats and the in-place converter carry offsets and lengths as
+// int64 (files routinely exceed 4 GiB on the server side), so two habits
+// are outlawed in the offset-bearing packages:
+//
+//  1. Narrowing conversions — int(x), int32(x), ... — applied to a 64-bit
+//     value that has not been range-checked first. On 32-bit builds int(x)
+//     silently truncates a wire-supplied offset; an attacker-controlled
+//     count truncated to a small or negative int corrupts decode loops.
+//     A conversion is accepted when the operand was compared against a
+//     bound earlier in the same function (the checked-conversion idiom).
+//
+//  2. Additive bounds checks — `from+length > limit` — on non-constant
+//     64-bit values. When both terms are attacker-influenced the sum can
+//     wrap negative and the check passes; the overflow-free form
+//     `from > limit-length` must be used instead (lengths are validated
+//     non-negative before these guards run).
+package offsetsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"ipdelta/internal/lint/analysis"
+)
+
+// PackagePattern limits the analyzer to the packages that own delta
+// offsets; elsewhere int conversions are ordinary and unremarkable.
+var PackagePattern = regexp.MustCompile(`(^|/)(codec|delta|inplace)$`)
+
+// Analyzer is the offsetsafe analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "offsetsafe",
+	Doc: "flags unguarded narrowing conversions of 64-bit delta offsets and " +
+		"overflow-prone a+b bounds comparisons in the offset-bearing packages",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !PackagePattern.MatchString(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				checkFunc(pass, fn)
+			}
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	// Every comparison in the function, in source order; a narrowing
+	// conversion counts as guarded when its operand featured in an
+	// earlier comparison.
+	var comparisons []*ast.BinaryExpr
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if be, ok := n.(*ast.BinaryExpr); ok && isComparison(be.Op) {
+			comparisons = append(comparisons, be)
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			checkConversion(pass, e, comparisons)
+		case *ast.BinaryExpr:
+			checkAdditiveBound(pass, e)
+		}
+		return true
+	})
+}
+
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return true
+	}
+	return false
+}
+
+// effectiveWidth returns the conservative bit width of an integer type:
+// int/uint/uintptr count as 64 when read from (a value may be that large)
+// and as 32 when written to (the platform may be that small).
+func effectiveWidth(b *types.Basic, asDest bool) int {
+	switch b.Kind() {
+	case types.Int8, types.Uint8:
+		return 8
+	case types.Int16, types.Uint16:
+		return 16
+	case types.Int32, types.Uint32:
+		return 32
+	case types.Int64, types.Uint64:
+		return 64
+	case types.Int, types.Uint, types.Uintptr:
+		if asDest {
+			return 32
+		}
+		return 64
+	}
+	return 0
+}
+
+func basicInt(t types.Type) *types.Basic {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	return b
+}
+
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr, comparisons []*ast.BinaryExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	// A conversion is a call whose Fun denotes a type.
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	arg := call.Args[0]
+	if av, ok := pass.TypesInfo.Types[arg]; ok && av.Value != nil {
+		return // constant operand, checked at compile time
+	}
+	dst := basicInt(tv.Type)
+	src := basicInt(pass.TypeOf(arg))
+	if dst == nil || src == nil {
+		return
+	}
+	if effectiveWidth(dst, true) >= effectiveWidth(src, false) {
+		return
+	}
+	if guarded(pass, arg, call.Pos(), comparisons) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"unguarded narrowing conversion %s(%s) of a 64-bit offset value; range-check the operand first",
+		types.ExprString(call.Fun), types.ExprString(arg))
+}
+
+// guarded reports whether operand (or the variable at its root) appears in
+// a comparison positioned before pos.
+func guarded(pass *analysis.Pass, operand ast.Expr, pos token.Pos, comparisons []*ast.BinaryExpr) bool {
+	obj := rootObject(pass, operand)
+	opStr := types.ExprString(operand)
+	for _, cmp := range comparisons {
+		if cmp.Pos() >= pos {
+			continue
+		}
+		if obj != nil && mentionsObject(pass, cmp, obj) {
+			return true
+		}
+		if obj == nil && mentionsExpr(cmp, opStr) {
+			return true
+		}
+	}
+	return false
+}
+
+// rootObject returns the variable object of a plain identifier operand,
+// or nil for composite expressions.
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return pass.ObjectOf(id)
+	}
+	return nil
+}
+
+func mentionsObject(pass *analysis.Pass, root ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func mentionsExpr(root ast.Node, expr string) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && types.ExprString(e) == expr {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func checkAdditiveBound(pass *analysis.Pass, cmp *ast.BinaryExpr) {
+	if !isComparison(cmp.Op) {
+		return
+	}
+	for _, side := range []ast.Expr{cmp.X, cmp.Y} {
+		add, ok := ast.Unparen(side).(*ast.BinaryExpr)
+		if !ok || add.Op != token.ADD {
+			continue
+		}
+		b := basicInt(pass.TypeOf(add))
+		if b == nil || effectiveWidth(b, false) < 64 {
+			continue
+		}
+		if isConst(pass, add.X) || isConst(pass, add.Y) {
+			continue // i+1 style; cannot overflow for validated offsets
+		}
+		pass.Reportf(add.Pos(),
+			"bounds check adds two 64-bit offsets (%s + %s) and may overflow; compare against a subtraction instead",
+			types.ExprString(add.X), types.ExprString(add.Y))
+	}
+}
+
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,19 @@
+package offsetsafe_test
+
+import (
+	"testing"
+
+	"ipdelta/internal/lint/analysistest"
+	"ipdelta/internal/lint/offsetsafe"
+)
+
+func TestOffsetsafe(t *testing.T) {
+	// "codec" is in the analyzer's package scope and carries the positive
+	// and negative cases; "other" repeats the violations outside the scope
+	// and must produce no diagnostics.
+	for _, pkg := range []string{"codec", "other"} {
+		t.Run(pkg, func(t *testing.T) {
+			analysistest.Run(t, offsetsafe.Analyzer, pkg)
+		})
+	}
+}

@@ -1,0 +1,65 @@
+// Test package for the offsetsafe analyzer. The package is named codec so
+// it falls inside the analyzer's offset-bearing package scope.
+package codec
+
+type cmd struct{ From, To, Length int64 }
+
+// Unguarded narrowing of a wire-supplied count.
+func parseCount(v uint64) int {
+	return int(v) // want `unguarded narrowing conversion`
+}
+
+// The checked-conversion idiom: a range test on the operand earlier in the
+// function licenses the narrowing.
+func parseCountGuarded(v uint64) (int, bool) {
+	if v > 1<<31-1 {
+		return 0, false
+	}
+	return int(v), true
+}
+
+func narrow32(v int64) int32 {
+	return int32(v) // want `unguarded narrowing conversion`
+}
+
+// Widening is always fine.
+func widen(v int32) int64 {
+	return int64(v)
+}
+
+// Constant operands are evaluated at compile time.
+func constConv() int {
+	const big = int64(7)
+	return int(big)
+}
+
+// Same-width signedness changes are the guard idiom itself (int64(u) < 0)
+// and are not flagged.
+func signFlip(v uint64) int64 {
+	return int64(v)
+}
+
+// Additive bounds check: the sum of two hostile 63-bit values wraps
+// negative and slips past the comparison.
+func boundAdd(c cmd, limit int64) bool {
+	return c.From+c.Length > limit // want `may overflow`
+}
+
+// The overflow-free subtraction form.
+func boundSub(c cmd, limit int64) bool {
+	return c.From > limit-c.Length
+}
+
+// A constant addend cannot overflow validated offsets.
+func loopConst(n int64) int64 {
+	var total int64
+	for i := int64(0); i+1 < n; i++ {
+		total++
+	}
+	return total
+}
+
+// Suppression comments silence a deliberate conversion.
+func suppressed(v uint64) int {
+	return int(v) //ipvet:ignore offsetsafe -- exercised by the suppression test
+}

@@ -1,0 +1,12 @@
+// Test package outside the analyzer's package scope: the same narrowing
+// conversion that is flagged in codec must pass silently here, because
+// offsets only live in the offset-bearing packages.
+package other
+
+func parseCount(v uint64) int {
+	return int(v)
+}
+
+func boundAdd(a, b, limit int64) bool {
+	return a+b > limit
+}
