@@ -43,6 +43,7 @@ func benchPair(size int) corpus.Pair {
 // BenchmarkTable1 regenerates the paper's Table 1 over the small corpus
 // (E1). Use cmd/ipbench -table1 for the full corpus with printed rows.
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	pairs := corpus.SmallCorpus(1998)
 	algo := diff.NewLinear()
 	b.ResetTimer()
@@ -61,6 +62,7 @@ func BenchmarkTable1(b *testing.B) {
 // per-op times of these three benchmarks — conversion should be well under
 // diff time, and locally-minimum should not cost more than constant-time.
 func BenchmarkConvertVsDiffDiff(b *testing.B) {
+	b.ReportAllocs()
 	p := benchPair(256 << 10)
 	algo := diff.NewLinear()
 	b.SetBytes(int64(len(p.Version)))
@@ -73,6 +75,7 @@ func BenchmarkConvertVsDiffDiff(b *testing.B) {
 }
 
 func benchmarkConvert(b *testing.B, policy graph.Policy) {
+	b.ReportAllocs()
 	p := benchPair(256 << 10)
 	d, err := diff.NewLinear().Diff(p.Ref, p.Version)
 	if err != nil {
@@ -92,6 +95,7 @@ func BenchmarkConvertVsDiffConvertCT(b *testing.B) { benchmarkConvert(b, graph.C
 
 // BenchmarkFig2Adversarial drives the Figure 2 adversarial tree (E3).
 func BenchmarkFig2Adversarial(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunFig2([]int{8}, 64)
 		if err != nil {
@@ -106,6 +110,7 @@ func BenchmarkFig2Adversarial(b *testing.B) {
 // BenchmarkFig3EdgeBound drives the Figure 3 quadratic-edge construction
 // (E4), including the Lemma 1 check.
 func BenchmarkFig3EdgeBound(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunFig3([]int{256})
 		if err != nil {
@@ -119,6 +124,7 @@ func BenchmarkFig3EdgeBound(b *testing.B) {
 
 // BenchmarkTransfer runs one full update session per iteration (E5).
 func BenchmarkTransfer(b *testing.B) {
+	b.ReportAllocs()
 	pairs := corpus.SmallCorpus(1998)[:1]
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunTransfer(pairs, []int64{28_800})
@@ -133,6 +139,7 @@ func BenchmarkTransfer(b *testing.B) {
 
 // BenchmarkCodewords measures the format ablation (E6).
 func BenchmarkCodewords(b *testing.B) {
+	b.ReportAllocs()
 	pairs := corpus.SmallCorpus(1998)
 	algo := diff.NewLinear()
 	b.ResetTimer()
@@ -146,6 +153,7 @@ func BenchmarkCodewords(b *testing.B) {
 // BenchmarkPolicies measures the policy-vs-optimal ablation (E7) on a
 // reduced instance count.
 func BenchmarkPolicies(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunPolicies(20, 10, 7); err != nil {
 			b.Fatal(err)
@@ -156,8 +164,10 @@ func BenchmarkPolicies(b *testing.B) {
 // --- pipeline micro-benchmarks ---
 
 func BenchmarkDiffLinear(b *testing.B) {
+	b.ReportAllocs()
 	for _, size := range []int{64 << 10, 1 << 20} {
 		b.Run(fmt.Sprintf("%dKiB", size>>10), func(b *testing.B) {
+			b.ReportAllocs()
 			p := benchPair(size)
 			algo := diff.NewLinear()
 			b.SetBytes(int64(len(p.Version)))
@@ -172,6 +182,7 @@ func BenchmarkDiffLinear(b *testing.B) {
 }
 
 func BenchmarkDiffGreedy(b *testing.B) {
+	b.ReportAllocs()
 	p := benchPair(64 << 10)
 	algo := diff.NewGreedy()
 	b.SetBytes(int64(len(p.Version)))
@@ -184,6 +195,7 @@ func BenchmarkDiffGreedy(b *testing.B) {
 }
 
 func BenchmarkEncodeCompact(b *testing.B) {
+	b.ReportAllocs()
 	p := benchPair(256 << 10)
 	ip, _, err := DiffInPlace(p.Ref, p.Version)
 	if err != nil {
@@ -198,6 +210,7 @@ func BenchmarkEncodeCompact(b *testing.B) {
 }
 
 func BenchmarkDecodeCompact(b *testing.B) {
+	b.ReportAllocs()
 	p := benchPair(256 << 10)
 	ip, _, err := DiffInPlace(p.Ref, p.Version)
 	if err != nil {
@@ -218,6 +231,7 @@ func BenchmarkDecodeCompact(b *testing.B) {
 }
 
 func BenchmarkApplyScratch(b *testing.B) {
+	b.ReportAllocs()
 	p := benchPair(256 << 10)
 	ip, _, err := DiffInPlace(p.Ref, p.Version)
 	if err != nil {
@@ -233,6 +247,7 @@ func BenchmarkApplyScratch(b *testing.B) {
 }
 
 func BenchmarkApplyInPlace(b *testing.B) {
+	b.ReportAllocs()
 	p := benchPair(256 << 10)
 	ip, _, err := DiffInPlace(p.Ref, p.Version)
 	if err != nil {
@@ -250,6 +265,7 @@ func BenchmarkApplyInPlace(b *testing.B) {
 }
 
 func BenchmarkDeviceApply(b *testing.B) {
+	b.ReportAllocs()
 	p := benchPair(256 << 10)
 	ip, _, err := DiffInPlace(p.Ref, p.Version)
 	if err != nil {
@@ -278,6 +294,7 @@ func BenchmarkDeviceApply(b *testing.B) {
 }
 
 func BenchmarkCRWIConstruction(b *testing.B) {
+	b.ReportAllocs()
 	p := benchPair(1 << 20)
 	d, err := diff.NewLinear().Diff(p.Ref, p.Version)
 	if err != nil {
@@ -294,6 +311,7 @@ func BenchmarkCRWIConstruction(b *testing.B) {
 
 // BenchmarkStrategies measures the E8 cycle-breaking strategy ablation.
 func BenchmarkStrategies(b *testing.B) {
+	b.ReportAllocs()
 	pairs := corpus.SmallCorpus(1998)
 	algo := diff.NewLinear()
 	b.ResetTimer()
@@ -306,6 +324,7 @@ func BenchmarkStrategies(b *testing.B) {
 
 // BenchmarkComposition measures the E9 composed-chain experiment.
 func BenchmarkComposition(b *testing.B) {
+	b.ReportAllocs()
 	base := corpus.Generate(corpus.PairSpec{Profile: corpus.Binary, Size: 32 << 10, ChangeRate: 0.05, Seed: 1998})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -317,6 +336,7 @@ func BenchmarkComposition(b *testing.B) {
 
 // BenchmarkCompose measures raw two-delta composition.
 func BenchmarkCompose(b *testing.B) {
+	b.ReportAllocs()
 	p := benchPair(256 << 10)
 	d1, err := diff.NewLinear().Diff(p.Ref, p.Version)
 	if err != nil {
@@ -340,6 +360,7 @@ func BenchmarkCompose(b *testing.B) {
 // BenchmarkConvertSCCGreedy measures the alternative strategy's cost
 // against BenchmarkConvertVsDiffConvertLM.
 func BenchmarkConvertSCCGreedy(b *testing.B) {
+	b.ReportAllocs()
 	p := benchPair(256 << 10)
 	d, err := diff.NewLinear().Diff(p.Ref, p.Version)
 	if err != nil {
@@ -356,6 +377,7 @@ func BenchmarkConvertSCCGreedy(b *testing.B) {
 
 // BenchmarkStoreAppendAndServe measures delta-chain store operations.
 func BenchmarkStoreAppendAndServe(b *testing.B) {
+	b.ReportAllocs()
 	p := benchPair(64 << 10)
 	for i := 0; i < b.N; i++ {
 		s := store.New(p.Ref)
@@ -370,6 +392,7 @@ func BenchmarkStoreAppendAndServe(b *testing.B) {
 
 // BenchmarkAlgorithms measures the E10 differencing algorithm ablation.
 func BenchmarkAlgorithms(b *testing.B) {
+	b.ReportAllocs()
 	pairs := corpus.SmallCorpus(1998)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -381,6 +404,7 @@ func BenchmarkAlgorithms(b *testing.B) {
 
 // BenchmarkDiffBlockwise complements the linear/greedy micro-benchmarks.
 func BenchmarkDiffBlockwise(b *testing.B) {
+	b.ReportAllocs()
 	p := benchPair(64 << 10)
 	algo := diff.NewBlockwise()
 	b.SetBytes(int64(len(p.Version)))
@@ -394,6 +418,7 @@ func BenchmarkDiffBlockwise(b *testing.B) {
 
 // BenchmarkAnalyze measures the conflict analysis used by `ipdelta info`.
 func BenchmarkAnalyze(b *testing.B) {
+	b.ReportAllocs()
 	p := benchPair(256 << 10)
 	d, err := diff.NewLinear().Diff(p.Ref, p.Version)
 	if err != nil {
@@ -409,6 +434,7 @@ func BenchmarkAnalyze(b *testing.B) {
 
 // BenchmarkFleet measures the E11 fleet rollout simulation.
 func BenchmarkFleet(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunFleet(16<<10, 3, 10, 256_000, 1998); err != nil {
 			b.Fatal(err)
@@ -418,6 +444,7 @@ func BenchmarkFleet(b *testing.B) {
 
 // BenchmarkScratch measures the E12 bounded-scratch trade-off sweep.
 func BenchmarkScratch(b *testing.B) {
+	b.ReportAllocs()
 	pairs := corpus.SmallCorpus(1998)
 	algo := diff.NewLinear()
 	b.ResetTimer()
@@ -430,6 +457,7 @@ func BenchmarkScratch(b *testing.B) {
 
 // BenchmarkInvert measures reverse-delta generation.
 func BenchmarkInvert(b *testing.B) {
+	b.ReportAllocs()
 	p := benchPair(256 << 10)
 	d, err := diff.NewLinear().Diff(p.Ref, p.Version)
 	if err != nil {
@@ -446,6 +474,7 @@ func BenchmarkInvert(b *testing.B) {
 
 // BenchmarkDiffSuffix completes the differencing micro-benchmarks.
 func BenchmarkDiffSuffix(b *testing.B) {
+	b.ReportAllocs()
 	p := benchPair(64 << 10)
 	algo := diff.NewSuffix()
 	b.SetBytes(int64(len(p.Version)))
@@ -459,6 +488,7 @@ func BenchmarkDiffSuffix(b *testing.B) {
 
 // BenchmarkConvertScratchBudget measures conversion under a scratch budget.
 func BenchmarkConvertScratchBudget(b *testing.B) {
+	b.ReportAllocs()
 	p := benchPair(256 << 10)
 	d, err := diff.NewLinear().Diff(p.Ref, p.Version)
 	if err != nil {
@@ -476,6 +506,7 @@ func BenchmarkConvertScratchBudget(b *testing.B) {
 // BenchmarkConvertBatch measures the concurrent batch converter against
 // the sequential loop (compare with GOMAXPROCS × BenchmarkConvertVsDiffConvertLM).
 func BenchmarkConvertBatch(b *testing.B) {
+	b.ReportAllocs()
 	const n = 16
 	jobs := make([]inplace.Job, 0, n)
 	for k := 0; k < n; k++ {
@@ -494,6 +525,65 @@ func BenchmarkConvertBatch(b *testing.B) {
 			if r.Err != nil {
 				b.Fatal(r.Err)
 			}
+		}
+	}
+}
+
+// --- zero-allocation pipeline benchmarks ---
+//
+// These pair with the one-shot benchmarks above: the same work through the
+// reusable Converter/Differ, whose steady-state allocation counts are
+// gated by AllocsPerRun tests in internal/inplace and internal/diff.
+
+// BenchmarkConverterReuse measures conversion through a pooled Converter
+// (compare with BenchmarkConvertVsDiffConvertLM, the one-shot path).
+func BenchmarkConverterReuse(b *testing.B) {
+	b.ReportAllocs()
+	p := benchPair(256 << 10)
+	d, err := diff.NewLinear().Diff(p.Ref, p.Version)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cv := inplace.NewConverter()
+	b.SetBytes(int64(len(p.Version)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cv.Convert(d, p.Ref); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDifferReuse measures differencing through a reusable Differ
+// (compare with BenchmarkDiffLinear, the one-shot path).
+func BenchmarkDifferReuse(b *testing.B) {
+	b.ReportAllocs()
+	p := benchPair(256 << 10)
+	dr := diff.NewDiffer()
+	b.SetBytes(int64(len(p.Version)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dr.Diff(p.Ref, p.Version); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildCRWI isolates sweep-line CRWI digraph construction
+// (validate + partition + sort + build, no topological sort or emission).
+func BenchmarkBuildCRWI(b *testing.B) {
+	b.ReportAllocs()
+	p := benchPair(1 << 20)
+	d, err := diff.NewLinear().Diff(p.Ref, p.Version)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cv := inplace.NewConverter()
+	b.ReportMetric(float64(d.NumCopies()), "copies")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cv.BuildCRWI(d); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

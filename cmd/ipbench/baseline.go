@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"ipdelta/internal/corpus"
+	"ipdelta/internal/diff"
+	"ipdelta/internal/inplace"
+)
+
+// The benchmark-baseline mode (-bench-baseline) measures the conversion
+// pipeline's steady-state hot paths with testing.Benchmark and emits a
+// machine-readable JSON document (-baseline-out, BENCH_convert.json by
+// convention). Committing the file alongside a perf-sensitive change gives
+// reviewers and CI a before/after record of ns/op and allocs/op without
+// re-running anything.
+
+// baselineResult is one benchmark's measurement.
+type baselineResult struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+}
+
+// baselineDoc is the emitted document.
+type baselineDoc struct {
+	Environment struct {
+		GoVersion  string `json:"go_version"`
+		GOOS       string `json:"goos"`
+		GOARCH     string `json:"goarch"`
+		NumCPU     int    `json:"num_cpu"`
+		InputBytes int    `json:"input_bytes"`
+		Seed       int64  `json:"seed"`
+	} `json:"environment"`
+	Results []baselineResult `json:"results"`
+}
+
+// measure runs fn under testing.Benchmark and records the result. bytes is
+// the per-iteration payload for MB/s (0 to omit).
+func (doc *baselineDoc) measure(name string, bytes int64, fn func(b *testing.B)) {
+	r := testing.Benchmark(fn)
+	res := baselineResult{
+		Name:        name,
+		Iters:       r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if bytes > 0 && r.T > 0 {
+		res.MBPerSec = float64(bytes) * float64(r.N) / r.T.Seconds() / 1e6
+	}
+	doc.Results = append(doc.Results, res)
+}
+
+// runBaseline measures the pipeline and writes the JSON document to
+// outPath, rendering a summary table to out.
+func runBaseline(out io.Writer, outPath string, quick bool, seed int64) error {
+	size := 256 << 10
+	batchJobs := 16
+	if quick {
+		size = 64 << 10
+		batchJobs = 4
+	}
+	p := corpus.Generate(corpus.PairSpec{
+		Profile:    corpus.Binary,
+		Size:       size,
+		ChangeRate: 0.08,
+		Seed:       seed,
+	})
+	vbytes := int64(len(p.Version))
+
+	l := diff.NewLinear()
+	d, err := l.Diff(p.Ref, p.Version)
+	if err != nil {
+		return fmt.Errorf("bench-baseline: diff: %w", err)
+	}
+
+	doc := &baselineDoc{}
+	doc.Environment.GoVersion = runtime.Version()
+	doc.Environment.GOOS = runtime.GOOS
+	doc.Environment.GOARCH = runtime.GOARCH
+	doc.Environment.NumCPU = runtime.NumCPU()
+	doc.Environment.InputBytes = size
+	doc.Environment.Seed = seed
+
+	doc.measure("convert/one-shot", vbytes, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := inplace.Convert(d, p.Ref); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	cv := inplace.NewConverter()
+	doc.measure("convert/reuse", vbytes, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := cv.Convert(d, p.Ref); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	doc.measure("crwi/build", vbytes, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := cv.BuildCRWI(d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	doc.measure("diff/one-shot", vbytes, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := l.Diff(p.Ref, p.Version); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	dr := diff.NewDiffer()
+	doc.measure("diff/reuse", vbytes, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dr.Diff(p.Ref, p.Version); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	jobs := make([]inplace.Job, 0, batchJobs)
+	var batchBytes int64
+	for k := 0; k < batchJobs; k++ {
+		jp := corpus.Generate(corpus.PairSpec{
+			Profile:    corpus.Binary,
+			Size:       size / 4,
+			ChangeRate: 0.08,
+			Seed:       seed + int64(k),
+		})
+		jd, err := l.Diff(jp.Ref, jp.Version)
+		if err != nil {
+			return fmt.Errorf("bench-baseline: batch diff %d: %w", k, err)
+		}
+		jobs = append(jobs, inplace.Job{Delta: jd, Ref: jp.Ref})
+		batchBytes += int64(len(jp.Version))
+	}
+	doc.measure(fmt.Sprintf("batch/%d", batchJobs), batchBytes, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, r := range inplace.ConvertBatch(jobs, 0) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	})
+
+	f, err := os.Create(outPath)
+	if err != nil {
+		return fmt.Errorf("bench-baseline: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return fmt.Errorf("bench-baseline: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("bench-baseline: %w", err)
+	}
+
+	fmt.Fprintf(out, "benchmark baseline (%d-byte input, seed %d) -> %s\n\n", size, seed, outPath)
+	fmt.Fprintf(out, "%-18s %12s %14s %12s %10s\n", "benchmark", "iters", "ns/op", "allocs/op", "MB/s")
+	for _, r := range doc.Results {
+		fmt.Fprintf(out, "%-18s %12d %14.0f %12d %10.1f\n",
+			r.Name, r.Iters, r.NsPerOp, r.AllocsPerOp, r.MBPerSec)
+	}
+	return nil
+}

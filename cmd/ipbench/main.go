@@ -8,9 +8,13 @@
 //	        [-table1] [-timing] [-fig2] [-fig3] [-transfer] [-codewords]
 //	        [-policies] [-strategies] [-composition] [-algorithms]
 //	        [-fleet] [-scratch]
+//	ipbench -bench-baseline [-baseline-out FILE] [-quick] [-seed N]
 //
 // With no experiment flags, all experiments run. -json emits one JSON
 // document with every selected result instead of rendered tables.
+// -bench-baseline skips the experiments and instead measures the
+// conversion pipeline's hot paths (convert, CRWI build, diff, batch),
+// writing ns/op, allocs/op, and MB/s as JSON for before/after comparison.
 package main
 
 import (
@@ -55,8 +59,13 @@ func run(args []string) error {
 	algorithms := fs.Bool("algorithms", false, "E10: differencing algorithm ablation")
 	fleetFlag := fs.Bool("fleet", false, "E11: fleet rollout comparison")
 	scratch := fs.Bool("scratch", false, "E12: bounded-scratch trade-off")
+	benchBaseline := fs.Bool("bench-baseline", false, "measure the conversion pipeline and emit a machine-readable baseline instead of running experiments")
+	baselineOut := fs.String("baseline-out", "BENCH_convert.json", "output path for -bench-baseline")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *benchBaseline {
+		return runBaseline(os.Stdout, *baselineOut, *quick, *seed)
 	}
 	all := !(*t1 || *timing || *fig2 || *fig3 || *transfer || *codewords ||
 		*policies || *strategies || *composition || *algorithms || *fleetFlag || *scratch)

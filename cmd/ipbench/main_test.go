@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunQuickExperiments(t *testing.T) {
 	// Each experiment flag on the small corpus; output goes to stdout.
@@ -40,5 +45,56 @@ func TestRunCorpusDirErrors(t *testing.T) {
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunBenchBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("baseline measurement is slow")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_convert.json")
+	if err := run([]string{"-quick", "-bench-baseline", "-baseline-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc baselineDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("baseline output is not valid JSON: %v", err)
+	}
+	want := map[string]bool{
+		"convert/one-shot": false, "convert/reuse": false, "crwi/build": false,
+		"diff/one-shot": false, "diff/reuse": false, "batch/4": false,
+	}
+	for _, r := range doc.Results {
+		if _, ok := want[r.Name]; ok {
+			want[r.Name] = true
+		}
+		if r.Iters <= 0 || r.NsPerOp <= 0 {
+			t.Errorf("%s: empty measurement: %+v", r.Name, r)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("baseline missing benchmark %q", name)
+		}
+	}
+	// The reusable paths must not allocate more than the one-shot paths.
+	ns := map[string]baselineResult{}
+	for _, r := range doc.Results {
+		ns[r.Name] = r
+	}
+	if ns["convert/reuse"].AllocsPerOp > ns["convert/one-shot"].AllocsPerOp {
+		t.Errorf("convert/reuse allocates more than one-shot: %d > %d",
+			ns["convert/reuse"].AllocsPerOp, ns["convert/one-shot"].AllocsPerOp)
+	}
+	if ns["diff/reuse"].AllocsPerOp > ns["diff/one-shot"].AllocsPerOp {
+		t.Errorf("diff/reuse allocates more than one-shot: %d > %d",
+			ns["diff/reuse"].AllocsPerOp, ns["diff/one-shot"].AllocsPerOp)
+	}
+	if err := run([]string{"-bench-baseline", "-baseline-out", "/definitely/missing/dir/out.json", "-quick"}); err == nil {
+		t.Error("unwritable baseline path accepted")
 	}
 }

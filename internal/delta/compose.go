@@ -1,7 +1,9 @@
 package delta
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -36,7 +38,7 @@ func Compose(first, second *Delta) (*Delta, error) {
 	// cover B exactly).
 	cover := make([]Command, len(first.Commands))
 	copy(cover, first.Commands)
-	sort.Slice(cover, func(i, j int) bool { return cover[i].To < cover[j].To })
+	slices.SortFunc(cover, func(a, b Command) int { return cmp.Compare(a.To, b.To) })
 
 	out := &Delta{RefLen: first.RefLen, VersionLen: second.VersionLen}
 	var merger commandMerger

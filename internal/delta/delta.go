@@ -220,21 +220,36 @@ func (e *ValidationError) Unwrap() error { return e.Cause }
 // lengths agree, the write intervals are pairwise disjoint, and together
 // they cover [0, VersionLen-1] exactly.
 func (d *Delta) Validate() error {
-	written := interval.NewSet()
+	var v Validator
+	return v.Validate(d)
+}
+
+// Validator runs delta validation over a reusable interval set, so a
+// steady-state pipeline (one converter validating every incoming delta)
+// performs no per-call allocations. The zero value is ready for use; a
+// Validator must not be used concurrently. Validate on a Validator checks
+// exactly what (*Delta).Validate checks.
+type Validator struct {
+	written interval.Set
+}
+
+// Validate implements (*Delta).Validate over the validator's scratch.
+func (v *Validator) Validate(d *Delta) error {
+	v.written.Reset()
 	for k, c := range d.Commands {
 		if err := d.validateCommand(c); err != nil {
 			return &ValidationError{Index: k, Cmd: c, Cause: err}
 		}
 		w := c.WriteInterval()
-		if written.Overlaps(w) {
+		if v.written.Overlaps(w) {
 			return &ValidationError{Index: k, Cmd: c, Cause: ErrOverlap}
 		}
-		written.Add(w)
+		v.written.Add(w)
 	}
-	if written.Total() != d.VersionLen {
+	if v.written.Total() != d.VersionLen {
 		return &ValidationError{Index: -1, Cause: ErrCoverage}
 	}
-	if d.VersionLen > 0 && !written.ContainsInterval(interval.FromRange(0, d.VersionLen)) {
+	if d.VersionLen > 0 && !v.written.ContainsInterval(interval.FromRange(0, d.VersionLen)) {
 		return &ValidationError{Index: -1, Cause: ErrCoverage}
 	}
 	return d.validateScratch()

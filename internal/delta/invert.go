@@ -1,8 +1,9 @@
 package delta
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"ipdelta/internal/interval"
 )
@@ -38,11 +39,11 @@ func Invert(d *Delta, ref []byte) (*Delta, error) {
 			copies = append(copies, c)
 		}
 	}
-	sort.Slice(copies, func(i, j int) bool {
-		if copies[i].From != copies[j].From {
-			return copies[i].From < copies[j].From
+	slices.SortFunc(copies, func(a, b Command) int {
+		if c := cmp.Compare(a.From, b.From); c != 0 {
+			return c
 		}
-		return copies[i].Length > copies[j].Length
+		return cmp.Compare(b.Length, a.Length)
 	})
 	for _, c := range copies {
 		// Trim [c.From, c.From+c.Length) against what is already covered,
@@ -71,7 +72,7 @@ func Invert(d *Delta, ref []byte) (*Delta, error) {
 		}
 	}
 
-	sort.Slice(spans, func(i, j int) bool { return spans[i].to < spans[j].to })
+	slices.SortFunc(spans, func(a, b span) int { return cmp.Compare(a.to, b.to) })
 	// Emit in R write order, filling gaps with literals from R.
 	var at int64
 	for _, s := range spans {

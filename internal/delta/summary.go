@@ -3,7 +3,7 @@ package delta
 import (
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 )
 
 // Summary aggregates command statistics of a delta — the command counts
@@ -52,7 +52,7 @@ func percentiles(lens []int64) (p50, p90, max int64) {
 	if len(lens) == 0 {
 		return 0, 0, 0
 	}
-	sort.Slice(lens, func(i, j int) bool { return lens[i] < lens[j] })
+	slices.Sort(lens)
 	at := func(q float64) int64 {
 		k := int(q * float64(len(lens)-1))
 		return lens[k]

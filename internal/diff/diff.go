@@ -72,27 +72,43 @@ func (Null) Diff(ref, version []byte) (*delta.Delta, error) {
 
 // emitter accumulates commands in write order, buffering literal bytes and
 // flushing them as a single add before each copy.
+//
+// Literal bytes from every add are appended to one arena (lits); until
+// finish, an add command carries the run's arena offset in its From field
+// and a nil Data. finish resolves the offsets into sub-slices of a single
+// data allocation — one allocation for all literal data, where the old
+// emitter allocated per add — and an emitter can be reset and reused, so a
+// pooled differencer emits with no steady-state allocations at all.
 type emitter struct {
-	cmds    []delta.Command
-	pending []byte
-	at      int64 // write offset of the next emitted byte
+	cmds     []delta.Command
+	lits     []byte // literal arena: every add's data, concatenated
+	litStart int64  // arena offset where the pending run begins
+	at       int64  // write offset of the next emitted byte
+}
+
+// reset empties the emitter for a fresh diff, retaining backing capacity.
+func (e *emitter) reset() {
+	e.cmds = e.cmds[:0]
+	e.lits = e.lits[:0]
+	e.litStart = 0
+	e.at = 0
 }
 
 // literal appends version bytes that found no match.
 func (e *emitter) literal(b []byte) {
-	e.pending = append(e.pending, b...)
+	e.lits = append(e.lits, b...)
 }
 
-// flushAdd materializes the pending literal bytes as one add command.
+// flushAdd records the pending literal run as one add command. The command
+// holds the run's arena offset in From until finish materializes it.
 func (e *emitter) flushAdd() {
-	if len(e.pending) == 0 {
+	run := int64(len(e.lits)) - e.litStart
+	if run == 0 {
 		return
 	}
-	data := make([]byte, len(e.pending))
-	copy(data, e.pending)
-	e.cmds = append(e.cmds, delta.NewAdd(e.at, data))
-	e.at += int64(len(data))
-	e.pending = e.pending[:0]
+	e.cmds = append(e.cmds, delta.Command{Op: delta.OpAdd, From: e.litStart, To: e.at, Length: run})
+	e.at += run
+	e.litStart = int64(len(e.lits))
 }
 
 // copyCmd emits a copy of length l from reference offset from.
@@ -102,10 +118,39 @@ func (e *emitter) copyCmd(from int64, l int64) {
 	e.at += l
 }
 
-// finish flushes trailing literals and returns the command list.
+// finish flushes trailing literals and returns a detached command list:
+// the commands and one shared data arena are freshly allocated, so the
+// result stays valid after the emitter is reset or pooled.
 func (e *emitter) finish() []delta.Command {
 	e.flushAdd()
+	cmds := make([]delta.Command, len(e.cmds))
+	copy(cmds, e.cmds)
+	arena := make([]byte, len(e.lits))
+	copy(arena, e.lits)
+	resolveAdds(cmds, arena)
+	return cmds
+}
+
+// finishReuse flushes trailing literals and returns the emitter's own
+// command list, with add data aliasing the emitter's literal arena. The
+// result is valid only until the emitter's next reset.
+func (e *emitter) finishReuse() []delta.Command {
+	e.flushAdd()
+	resolveAdds(e.cmds, e.lits)
 	return e.cmds
+}
+
+// resolveAdds rewrites each add's stashed arena offset (in From) into a
+// capacity-bounded sub-slice of the arena.
+func resolveAdds(cmds []delta.Command, arena []byte) {
+	for k := range cmds {
+		if cmds[k].Op != delta.OpAdd {
+			continue
+		}
+		off, end := cmds[k].From, cmds[k].From+cmds[k].Length
+		cmds[k].From = 0
+		cmds[k].Data = arena[off:end:end]
+	}
 }
 
 // matchForward returns the length of the common prefix of ref[r:] and

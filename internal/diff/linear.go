@@ -2,6 +2,7 @@ package diff
 
 import (
 	"bytes"
+	"sync"
 
 	"ipdelta/internal/delta"
 )
@@ -14,9 +15,16 @@ import (
 //
 // Time is O(L_R + L_V); space is the fixed table regardless of input size,
 // matching the O(1)-space claim the paper cites for its delta generator.
+//
+// Diff's working memory (the fingerprint table and the emitter) is pooled
+// per instance, so repeated and concurrent calls reuse it instead of
+// reallocating the table — at the default 18 table bits, a 1 MiB
+// allocation per call. Callers in a single-threaded steady state can do
+// better still with a Differ.
 type Linear struct {
 	seedLen   int
 	tableBits uint
+	pool      sync.Pool // of *linearState
 }
 
 // LinearOption customizes a Linear differencer.
@@ -62,19 +70,20 @@ func (l *Linear) Name() string { return "linear" }
 // krBase is the Karp–Rabin multiplier; arithmetic is modulo 2^64.
 const krBase = 0x100000001b3 // the FNV prime, a fine odd multiplier
 
-// krHasher computes rolling hashes of p-byte windows.
+// krHasher computes rolling hashes of p-byte windows. It is a value type:
+// hashers live on the differencer's stack frame rather than the heap.
 type krHasher struct {
 	p    int
 	pow  uint64 // krBase^(p-1)
 	hash uint64
 }
 
-func newKRHasher(p int) *krHasher {
+func newKRHasher(p int) krHasher {
 	pow := uint64(1)
 	for k := 0; k < p-1; k++ {
 		pow *= krBase
 	}
-	return &krHasher{p: p, pow: pow}
+	return krHasher{p: p, pow: pow}
 }
 
 // init computes the hash of window b (len must be p).
@@ -92,22 +101,59 @@ func (h *krHasher) roll(out, in byte) uint64 {
 	return h.hash
 }
 
+// linearState is one diff's working memory: the fingerprint table and the
+// emitter. States are pooled per Linear instance (the table size is an
+// instance parameter, so states are not interchangeable across instances).
+type linearState struct {
+	table []int32
+	e     emitter
+}
+
+// prepare sizes (or clears) the table for 2^bits entries and resets the
+// emitter.
+func (st *linearState) prepare(bits uint) {
+	size := 1 << bits
+	if len(st.table) != size {
+		st.table = make([]int32, size)
+	} else {
+		clear(st.table)
+	}
+	st.e.reset()
+}
+
 // Diff implements Algorithm.
 func (l *Linear) Diff(ref, version []byte) (*delta.Delta, error) {
-	d := &delta.Delta{RefLen: int64(len(ref)), VersionLen: int64(len(version))}
+	st, _ := l.pool.Get().(*linearState)
+	if st == nil {
+		st = &linearState{}
+	}
+	st.prepare(l.tableBits)
+	l.scan(st, ref, version)
+	d := &delta.Delta{
+		RefLen:     int64(len(ref)),
+		VersionLen: int64(len(version)),
+		Commands:   st.e.finish(),
+	}
+	l.pool.Put(st)
+	return d, nil
+}
+
+// scan runs the differencing pass, emitting commands into st.e.
+func (l *Linear) scan(st *linearState, ref, version []byte) {
 	if len(version) == 0 {
-		return d, nil
+		return
 	}
 	p := l.seedLen
 	if len(ref) < p || len(version) < p {
 		// Too short to seed any match: emit the version as a single add.
-		return Null{}.Diff(ref, version)
+		st.e.literal(version)
+		return
 	}
 
 	// Index the reference: table[h] holds 1 + offset of the first seed
 	// whose fingerprint maps to bucket h (0 means empty).
 	mask := (uint64(1) << l.tableBits) - 1
-	table := make([]int32, uint64(1)<<l.tableBits)
+	table := st.table
 	rh := newKRHasher(p)
 	rh.init(ref[:p])
 	for r := 0; ; r++ {
@@ -122,7 +168,7 @@ func (l *Linear) Diff(ref, version []byte) (*delta.Delta, error) {
 	}
 
 	// Scan the version.
-	e := &emitter{}
+	e := &st.e
 	vh := newKRHasher(p)
 	vh.init(version[:p])
 	v := 0
@@ -158,6 +204,38 @@ func (l *Linear) Diff(ref, version []byte) (*delta.Delta, error) {
 		v++
 	}
 	e.literal(version[lit:])
-	d.Commands = e.finish()
-	return d, nil
+}
+
+// Differ is a reusable linear differencer for single-threaded steady-state
+// pipelines: one instance owns the fingerprint table, the emitter, and the
+// output delta, so repeated Diff calls perform no heap allocations at all.
+// The returned delta is owned by the Differ and valid only until its next
+// call; callers that retain results across calls should use (*Linear).Diff
+// (whose output is detached) or clone. A Differ is not safe for concurrent
+// use — (*Linear).Diff pools its state internally and is.
+type Differ struct {
+	l   *Linear
+	st  linearState
+	out delta.Delta
+}
+
+// NewDiffer returns a reusable differencer with the given options applied.
+func NewDiffer(opts ...LinearOption) *Differ {
+	return &Differ{l: NewLinear(opts...)}
+}
+
+// Name identifies the algorithm in reports.
+func (dr *Differ) Name() string { return dr.l.Name() }
+
+// Diff computes the delta like (*Linear).Diff, into differ-owned storage
+// that is reused by — and valid only until — the next call.
+func (dr *Differ) Diff(ref, version []byte) (*delta.Delta, error) {
+	dr.st.prepare(dr.l.tableBits)
+	dr.l.scan(&dr.st, ref, version)
+	dr.out = delta.Delta{
+		RefLen:     int64(len(ref)),
+		VersionLen: int64(len(version)),
+		Commands:   dr.st.e.finishReuse(),
+	}
+	return &dr.out, nil
 }

@@ -1,82 +1,124 @@
 package graph
 
-// StronglyConnectedComponents returns the SCCs of g using an iterative
-// Tarjan algorithm. Every vertex appears in exactly one component;
-// components are returned in reverse topological order of the condensation
-// (Tarjan's natural output order). Singleton components without self-loops
-// are trivially acyclic; every cycle of g lives inside one component.
-func StronglyConnectedComponents(g *Digraph) [][]int {
+// SCCScratch holds the working state of Tarjan's algorithm so repeated
+// SCC computations reuse one set of buffers. In steady state a Components
+// call performs no allocations. The zero value is ready for use; an
+// SCCScratch must not be used concurrently.
+type SCCScratch struct {
+	index   []int32
+	lowlink []int32
+	onStack []bool
+	stack   []int32
+	dfs     []topoFrame
+	// flat component output: component k is verts[offs[k]:offs[k+1]].
+	verts []int32
+	offs  []int32
+}
+
+// Components computes the strongly connected components of g with an
+// iterative Tarjan DFS, returning them in a flat form: component k is
+// verts[offs[k]:offs[k+1]], and there are len(offs)-1 components.
+// Components are produced in reverse topological order of the condensation
+// (Tarjan's natural output order). The returned slices are owned by the
+// scratch and remain valid only until the next Components call.
+func (s *SCCScratch) Components(g Graph) (verts, offs []int32) {
 	n := g.NumVertices()
 	const unvisited = -1
-	index := make([]int32, n)
-	lowlink := make([]int32, n)
-	onStack := make([]bool, n)
-	for k := range index {
-		index[k] = unvisited
+	s.index = growInt32(s.index, n)
+	s.lowlink = growInt32(s.lowlink, n)
+	s.onStack = growBools(s.onStack, n)
+	s.stack = s.stack[:0]
+	s.dfs = s.dfs[:0]
+	s.verts = s.verts[:0]
+	s.offs = append(s.offs[:0], 0)
+	for k := range s.index {
+		s.index[k] = unvisited
 	}
-	var (
-		counter int32
-		stack   []int32 // Tarjan stack
-		sccs    [][]int
-	)
 
-	type frame struct {
-		v    int32
-		edge int
-	}
-	var dfs []frame
+	var counter int32
 	for root := 0; root < n; root++ {
-		if index[root] != unvisited {
+		if s.index[root] != unvisited {
 			continue
 		}
-		dfs = append(dfs[:0], frame{v: int32(root)})
-		index[root] = counter
-		lowlink[root] = counter
+		s.dfs = append(s.dfs[:0], topoFrame{v: int32(root)})
+		s.index[root] = counter
+		s.lowlink[root] = counter
 		counter++
-		stack = append(stack, int32(root))
-		onStack[root] = true
-		for len(dfs) > 0 {
-			top := &dfs[len(dfs)-1]
+		s.stack = append(s.stack, int32(root))
+		s.onStack[root] = true
+		for len(s.dfs) > 0 {
+			top := &s.dfs[len(s.dfs)-1]
 			succ := g.Succ(int(top.v))
 			if top.edge < len(succ) {
 				w := succ[top.edge]
 				top.edge++
-				if index[w] == unvisited {
-					index[w] = counter
-					lowlink[w] = counter
+				if s.index[w] == unvisited {
+					s.index[w] = counter
+					s.lowlink[w] = counter
 					counter++
-					stack = append(stack, w)
-					onStack[w] = true
-					dfs = append(dfs, frame{v: w})
-				} else if onStack[w] && index[w] < lowlink[top.v] {
-					lowlink[top.v] = index[w]
+					s.stack = append(s.stack, w)
+					s.onStack[w] = true
+					s.dfs = append(s.dfs, topoFrame{v: w})
+				} else if s.onStack[w] && s.index[w] < s.lowlink[top.v] {
+					s.lowlink[top.v] = s.index[w]
 				}
 				continue
 			}
 			// Finished top.v: pop an SCC if it is a root.
 			v := top.v
-			dfs = dfs[:len(dfs)-1]
-			if len(dfs) > 0 {
-				if lowlink[v] < lowlink[dfs[len(dfs)-1].v] {
-					lowlink[dfs[len(dfs)-1].v] = lowlink[v]
+			s.dfs = s.dfs[:len(s.dfs)-1]
+			if len(s.dfs) > 0 {
+				if s.lowlink[v] < s.lowlink[s.dfs[len(s.dfs)-1].v] {
+					s.lowlink[s.dfs[len(s.dfs)-1].v] = s.lowlink[v]
 				}
 			}
-			if lowlink[v] == index[v] {
-				var comp []int
+			if s.lowlink[v] == s.index[v] {
 				for {
-					w := stack[len(stack)-1]
-					stack = stack[:len(stack)-1]
-					onStack[w] = false
-					comp = append(comp, int(w))
+					w := s.stack[len(s.stack)-1]
+					s.stack = s.stack[:len(s.stack)-1]
+					s.onStack[w] = false
+					s.verts = append(s.verts, w)
 					if w == v {
 						break
 					}
 				}
-				sccs = append(sccs, comp)
+				s.offs = append(s.offs, int32(len(s.verts)))
 			}
 		}
 	}
+	return s.verts, s.offs
+}
+
+// StronglyConnectedComponents returns the SCCs of g using an iterative
+// Tarjan algorithm. Every vertex appears in exactly one component;
+// components are returned in reverse topological order of the condensation
+// (Tarjan's natural output order). Singleton components without self-loops
+// are trivially acyclic; every cycle of g lives inside one component.
+//
+// The result is freshly allocated; hot paths that can tolerate flat,
+// scratch-owned output should use SCCScratch.Components directly.
+func StronglyConnectedComponents(g Graph) [][]int {
+	var s SCCScratch
+	verts, offs := s.Components(g)
+	sccs := make([][]int, len(offs)-1)
+	for k := range sccs {
+		comp := make([]int, 0, offs[k+1]-offs[k])
+		for _, v := range verts[offs[k]:offs[k+1]] {
+			comp = append(comp, int(v))
+		}
+		sccs[k] = comp
+	}
 	return sccs
+}
+
+// growBools returns s resized to n elements, all false, reusing capacity.
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
 }
 
 // GreedyFeedbackVertexSet computes a feedback vertex set with an SCC-scoped
@@ -86,7 +128,7 @@ func StronglyConnectedComponents(g *Digraph) [][]int {
 // strategy to the paper's DFS-embedded policies, included as an ablation:
 // it sees whole components rather than one cycle at a time, at the cost of
 // repeated SCC computations.
-func GreedyFeedbackVertexSet(g *Digraph, cost CostFunc) []int {
+func GreedyFeedbackVertexSet(g Graph, cost CostFunc) []int {
 	removed := make([]bool, g.NumVertices())
 	var out []int
 	// Work queue of vertex sets that may still contain cycles.
@@ -134,7 +176,7 @@ func allVertices(n int) []int {
 
 // subgraph builds the induced subgraph on verts minus removed vertices,
 // returning it and the mapping from subgraph index to original vertex.
-func subgraph(g *Digraph, verts []int, removed []bool) (*Digraph, []int) {
+func subgraph(g Graph, verts []int, removed []bool) (*Digraph, []int) {
 	toSub := make(map[int]int, len(verts))
 	var fromSub []int
 	for _, v := range verts {
@@ -156,7 +198,7 @@ func subgraph(g *Digraph, verts []int, removed []bool) (*Digraph, []int) {
 }
 
 // degreesWithin counts in/out degrees restricted to the component.
-func degreesWithin(g *Digraph, comp []int) (in, out map[int]int) {
+func degreesWithin(g Graph, comp []int) (in, out map[int]int) {
 	member := make(map[int]bool, len(comp))
 	for _, v := range comp {
 		member[v] = true

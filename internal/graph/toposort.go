@@ -26,6 +26,24 @@ const (
 	deleted = 3 // removed to break a cycle
 )
 
+// topoFrame is one entry of the explicit DFS stack.
+type topoFrame struct {
+	v    int32
+	edge int // next adjacency index to examine
+}
+
+// TopoScratch holds the working state of the enhanced topological sort so
+// repeated sorts reuse one set of buffers. In steady state a Sort performs
+// no allocations. The zero value is ready for use; a TopoScratch must not
+// be used concurrently.
+type TopoScratch struct {
+	color     []byte
+	stack     []topoFrame
+	postorder []int
+	cycle     []int
+	res       SortResult
+}
+
 // TopoSort runs a depth-first topological sort over g, detecting cycles as
 // they are closed and deleting one vertex per cycle chosen by the policy
 // (§4.2 of the paper, "enhanced topological sort"). Roots are explored in
@@ -36,23 +54,25 @@ const (
 // The surviving subgraph is totally ordered: for every edge u→v between
 // survivors, u appears before v in Order, satisfying Equation 2 when the
 // vertices are copy commands and edges are potential WR conflicts.
-func TopoSort(g *Digraph, cost CostFunc, policy Policy) *SortResult {
-	n := g.NumVertices()
-	res := &SortResult{Order: make([]int, 0, n)}
-	color := make([]byte, n)
-	// postorder accumulates finished vertices; reversing it yields a
-	// topological order.
-	postorder := make([]int, 0, n)
+func TopoSort(g Graph, cost CostFunc, policy Policy) *SortResult {
+	var ts TopoScratch
+	return ts.Sort(g, cost, policy)
+}
 
-	type frame struct {
-		v    int32
-		edge int // next adjacency index to examine
-	}
-	var stack []frame
+// Sort is TopoSort over the scratch's reusable buffers. The returned
+// result is owned by the scratch and remains valid only until the next
+// Sort call.
+func (ts *TopoScratch) Sort(g Graph, cost CostFunc, policy Policy) *SortResult {
+	n := g.NumVertices()
+	ts.color = growBytes(ts.color, n)
+	ts.stack = ts.stack[:0]
+	ts.postorder = ts.postorder[:0]
+	ts.res = SortResult{Order: ts.res.Order[:0], Removed: ts.res.Removed[:0]}
+	color, res := ts.color, &ts.res
 
 	push := func(v int32) {
 		color[v] = gray
-		stack = append(stack, frame{v: v})
+		ts.stack = append(ts.stack, topoFrame{v: v})
 	}
 
 	for root := 0; root < n; root++ {
@@ -60,13 +80,13 @@ func TopoSort(g *Digraph, cost CostFunc, policy Policy) *SortResult {
 			continue
 		}
 		push(int32(root))
-		for len(stack) > 0 {
-			top := &stack[len(stack)-1]
+		for len(ts.stack) > 0 {
+			top := &ts.stack[len(ts.stack)-1]
 			succ := g.Succ(int(top.v))
 			if top.edge >= len(succ) {
 				color[top.v] = black
-				postorder = append(postorder, int(top.v))
-				stack = stack[:len(stack)-1]
+				ts.postorder = append(ts.postorder, int(top.v))
+				ts.stack = ts.stack[:len(ts.stack)-1]
 				continue
 			}
 			w := succ[top.edge]
@@ -77,17 +97,17 @@ func TopoSort(g *Digraph, cost CostFunc, policy Policy) *SortResult {
 			case gray:
 				// Edge top.v → w closes a cycle running from w along the
 				// DFS path to top.v. Collect it in path order.
-				at := len(stack) - 1
-				for stack[at].v != w {
+				at := len(ts.stack) - 1
+				for ts.stack[at].v != w {
 					at--
 				}
-				cycle := make([]int, 0, len(stack)-at)
-				for k := at; k < len(stack); k++ {
-					cycle = append(cycle, int(stack[k].v))
+				ts.cycle = ts.cycle[:0]
+				for k := at; k < len(ts.stack); k++ {
+					ts.cycle = append(ts.cycle, int(ts.stack[k].v))
 				}
 				res.CyclesBroken++
-				res.CycleVertices += len(cycle)
-				victim := policy.SelectVictim(cycle, cost)
+				res.CycleVertices += len(ts.cycle)
+				victim := policy.SelectVictim(ts.cycle, cost)
 				res.Removed = append(res.Removed, victim)
 				res.RemovedCost += cost(victim)
 				color[victim] = deleted
@@ -97,20 +117,20 @@ func TopoSort(g *Digraph, cost CostFunc, policy Policy) *SortResult {
 				// edge iterators; they will be re-explored along paths
 				// that avoid the deleted vertex.
 				vat := at
-				for stack[vat].v != int32(victim) {
+				for ts.stack[vat].v != int32(victim) {
 					vat++
 				}
-				for k := vat + 1; k < len(stack); k++ {
-					color[stack[k].v] = white
+				for k := vat + 1; k < len(ts.stack); k++ {
+					color[ts.stack[k].v] = white
 				}
-				stack = stack[:vat]
+				ts.stack = ts.stack[:vat]
 			}
 		}
 	}
 
 	// Reverse postorder = topological order.
-	for k := len(postorder) - 1; k >= 0; k-- {
-		res.Order = append(res.Order, postorder[k])
+	for k := len(ts.postorder) - 1; k >= 0; k-- {
+		res.Order = append(res.Order, ts.postorder[k])
 	}
 	return res
 }
@@ -119,7 +139,7 @@ func TopoSort(g *Digraph, cost CostFunc, policy Policy) *SortResult {
 // outcome for g: every vertex appears exactly once in order or removed,
 // and every edge between surviving vertices goes forward in order. It
 // returns false otherwise. Intended for tests and self-checks.
-func VerifyTopological(g *Digraph, res *SortResult) bool {
+func VerifyTopological(g Graph, res *SortResult) bool {
 	n := g.NumVertices()
 	pos := make([]int, n)
 	for k := range pos {

@@ -5,7 +5,7 @@ package graph
 // or nil and false if the restricted graph still contains a cycle. Used by
 // strategies that decide the removal set up front (e.g. the SCC-greedy
 // feedback vertex set) and then only need an ordering.
-func TopoSortExcluding(g *Digraph, removed []bool) ([]int, bool) {
+func TopoSortExcluding(g Graph, removed []bool) ([]int, bool) {
 	n := g.NumVertices()
 	color := make([]byte, n)
 	postorder := make([]int, 0, n)

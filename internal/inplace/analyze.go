@@ -2,7 +2,7 @@ package inplace
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"ipdelta/internal/codec"
 	"ipdelta/internal/delta"
@@ -57,8 +57,9 @@ func Analyze(d *delta.Delta) (*Analysis, error) {
 			adds++
 		}
 	}
-	sort.Slice(copies, func(i, j int) bool { return copies[i].To < copies[j].To })
-	g := buildCRWI(copies)
+	slices.SortFunc(copies, commandsByWriteOffset)
+	var cs crwiScratch
+	g := cs.build(copies)
 	cost := func(v int) int64 {
 		c := copies[v]
 		return c.Length - int64(codec.UvarintLen(uint64(c.From)))

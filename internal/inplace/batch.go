@@ -41,6 +41,15 @@ func ConvertBatch(jobs []Job, workers int, opts ...Option) []Result {
 	if len(jobs) == 0 {
 		return results
 	}
+	// A single job (or a single worker) needs no pool: run inline on one
+	// converter, with no channel, goroutine, or WaitGroup.
+	if workers == 1 {
+		cv := NewConverter(opts...)
+		for k := range jobs {
+			results[k] = runJob(cv, jobs[k], k)
+		}
+		return results
+	}
 	// The worker goroutines read these slices concurrently; copy both so a
 	// caller reusing or appending to its slices after ConvertBatch returns
 	// cannot race the pool (the aliascheck analyzer enforces this
@@ -54,14 +63,11 @@ func ConvertBatch(jobs []Job, workers int, opts ...Option) []Result {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One converter per worker: its scratch (partition, CSR digraph,
+			// sort state) is reused across every job the worker drains.
+			cv := NewConverter(opts...)
 			for k := range work {
-				job := jobs[k]
-				if job.Delta == nil {
-					results[k] = Result{Err: fmt.Errorf("inplace: job %d has a nil delta", k)}
-					continue
-				}
-				out, st, err := Convert(job.Delta, job.Ref, opts...)
-				results[k] = Result{Delta: out, Stats: st, Err: err}
+				results[k] = runJob(cv, jobs[k], k)
 			}
 		}()
 	}
@@ -71,4 +77,15 @@ func ConvertBatch(jobs []Job, workers int, opts ...Option) []Result {
 	close(work)
 	wg.Wait()
 	return results
+}
+
+// runJob converts one batch job on the worker's converter. ConvertNew
+// detaches the output, so results stay valid after the converter moves on
+// to the next job.
+func runJob(cv *Converter, job Job, k int) Result {
+	if job.Delta == nil {
+		return Result{Err: fmt.Errorf("inplace: job %d has a nil delta", k)}
+	}
+	out, st, err := cv.ConvertNew(job.Delta, job.Ref)
+	return Result{Delta: out, Stats: st, Err: err}
 }

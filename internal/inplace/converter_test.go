@@ -1,0 +1,277 @@
+package inplace
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"ipdelta/internal/delta"
+	"ipdelta/internal/graph"
+)
+
+// randomDelta builds a valid delta over a reference of the given length:
+// the version is partitioned into random-length chunks, each becoming a
+// copy from a random reference offset or an add. Reads may overlap each
+// other and any write, so CRWI digraphs of every shape (including cycles)
+// arise.
+func randomDelta(rng *rand.Rand, refLen int64) *delta.Delta {
+	d := &delta.Delta{RefLen: refLen, VersionLen: refLen}
+	var at int64
+	for at < refLen {
+		l := int64(1 + rng.Intn(64))
+		if l > refLen-at {
+			l = refLen - at
+		}
+		if rng.Intn(4) == 0 {
+			data := make([]byte, l)
+			rng.Read(data)
+			d.Commands = append(d.Commands, delta.NewAdd(at, data))
+		} else {
+			from := rng.Int63n(refLen - l + 1)
+			d.Commands = append(d.Commands, delta.NewCopy(from, at, l))
+		}
+		at += l
+	}
+	// Shuffle so input order exercises the write-offset sort.
+	rng.Shuffle(len(d.Commands), func(i, j int) {
+		d.Commands[i], d.Commands[j] = d.Commands[j], d.Commands[i]
+	})
+	return d
+}
+
+// sortedCopies extracts d's copy commands in write-offset order, the input
+// both CRWI builders require.
+func sortedCopies(t *testing.T, d *delta.Delta) []delta.Command {
+	t.Helper()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("invalid delta: %v", err)
+	}
+	var copies []delta.Command
+	for _, c := range d.Commands {
+		if c.Op == delta.OpCopy {
+			copies = append(copies, c)
+		}
+	}
+	slices.SortFunc(copies, commandsByWriteOffset)
+	return copies
+}
+
+// requireSameGraph asserts two graphs have identical vertex counts and
+// per-vertex successor lists, in order.
+func requireSameGraph(t *testing.T, name string, want, got graph.Graph) {
+	t.Helper()
+	if want.NumVertices() != got.NumVertices() {
+		t.Fatalf("%s: vertices: reference %d, sweep-line %d", name, want.NumVertices(), got.NumVertices())
+	}
+	if want.NumEdges() != got.NumEdges() {
+		t.Fatalf("%s: edges: reference %d, sweep-line %d", name, want.NumEdges(), got.NumEdges())
+	}
+	for u := 0; u < want.NumVertices(); u++ {
+		if !slices.Equal(want.Succ(u), got.Succ(u)) {
+			t.Fatalf("%s: successors of %d: reference %v, sweep-line %v",
+				name, u, want.Succ(u), got.Succ(u))
+		}
+	}
+}
+
+// TestSweepLineCRWIMatchesReference proves the sweep-line CSR builder
+// produces the exact edge set (including per-vertex successor order) of
+// the binary-search reference builder, on seeded random deltas and on the
+// paper's Figure 2 and Figure 3 constructions.
+func TestSweepLineCRWIMatchesReference(t *testing.T) {
+	var cs crwiScratch // shared across cases: reuse must not leak state
+	check := func(name string, d *delta.Delta) {
+		copies := sortedCopies(t, d)
+		requireSameGraph(t, name, buildCRWI(copies), cs.build(copies))
+	}
+
+	rng := rand.New(rand.NewSource(1998))
+	for i := 0; i < 200; i++ {
+		refLen := int64(1 + rng.Intn(2000))
+		check(fmt.Sprintf("random-%d", i), randomDelta(rng, refLen))
+	}
+	for b := 2; b <= 17; b += 5 {
+		check(fmt.Sprintf("quadratic-%d", b), QuadraticDelta(b))
+	}
+	for depth := 1; depth <= 6; depth++ {
+		check(fmt.Sprintf("adversarial-%d", depth), AdversarialDelta(depth, 16))
+	}
+}
+
+// TestSweepLineEmpty covers the degenerate no-copies build.
+func TestSweepLineEmpty(t *testing.T) {
+	var cs crwiScratch
+	g := cs.build(nil)
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty build: got %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+}
+
+// TestConverterReuseMatchesConvert interleaves conversions of many
+// different deltas through one Converter and checks every pooled result
+// against the free Convert function, immediately while the result is
+// valid.
+func TestConverterReuseMatchesConvert(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cv := NewConverter()
+	for i := 0; i < 60; i++ {
+		refLen := int64(1 + rng.Intn(1500))
+		d := randomDelta(rng, refLen)
+		ref := make([]byte, refLen)
+		rng.Read(ref)
+
+		got, gotStats, err := cv.Convert(d, ref)
+		if err != nil {
+			t.Fatalf("case %d: pooled convert: %v", i, err)
+		}
+		want, wantStats, err := Convert(d, ref)
+		if err != nil {
+			t.Fatalf("case %d: free convert: %v", i, err)
+		}
+		if len(got.Commands) != len(want.Commands) {
+			t.Fatalf("case %d: %d commands, want %d", i, len(got.Commands), len(want.Commands))
+		}
+		for k := range got.Commands {
+			if !got.Commands[k].Equal(want.Commands[k]) {
+				t.Fatalf("case %d: command %d: got %v, want %v", i, k, got.Commands[k], want.Commands[k])
+			}
+		}
+		if *gotStats != *wantStats {
+			t.Fatalf("case %d: stats %+v, want %+v", i, *gotStats, *wantStats)
+		}
+		if err := got.CheckInPlace(); err != nil {
+			t.Fatalf("case %d: pooled output not in-place safe: %v", i, err)
+		}
+		wantOut, err := d.Apply(ref)
+		if err != nil {
+			t.Fatalf("case %d: apply input: %v", i, err)
+		}
+		gotOut, err := got.Apply(ref)
+		if err != nil {
+			t.Fatalf("case %d: apply converted: %v", i, err)
+		}
+		if !bytes.Equal(wantOut, gotOut) {
+			t.Fatalf("case %d: converted delta materializes different bytes", i)
+		}
+	}
+}
+
+// TestConverterReuseWithOptions checks reuse under the non-default
+// strategies and the scratch budget, where the converter exercises its
+// mask, stash, and unstash scratch.
+func TestConverterReuseWithOptions(t *testing.T) {
+	for _, opts := range [][]Option{
+		{WithStrategy(StrategySCCGreedy)},
+		{WithPolicy(graph.ConstantTime{})},
+		{WithScratchBudget(64)},
+	} {
+		cv := NewConverter(opts...)
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 25; i++ {
+			refLen := int64(1 + rng.Intn(800))
+			d := randomDelta(rng, refLen)
+			ref := make([]byte, refLen)
+			rng.Read(ref)
+			got, _, err := cv.Convert(d, ref)
+			if err != nil {
+				t.Fatalf("case %d: pooled convert: %v", i, err)
+			}
+			want, _, err := Convert(d, ref, opts...)
+			if err != nil {
+				t.Fatalf("case %d: free convert: %v", i, err)
+			}
+			if len(got.Commands) != len(want.Commands) {
+				t.Fatalf("case %d: %d commands, want %d", i, len(got.Commands), len(want.Commands))
+			}
+			for k := range got.Commands {
+				if !got.Commands[k].Equal(want.Commands[k]) {
+					t.Fatalf("case %d: command %d: got %v, want %v", i, k, got.Commands[k], want.Commands[k])
+				}
+			}
+		}
+	}
+}
+
+// TestConvertNewDetaches proves ConvertNew results survive later calls on
+// the same converter, while Convert results are converter-owned.
+func TestConvertNewDetaches(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cv := NewConverter()
+
+	refLen := int64(1200)
+	d := randomDelta(rng, refLen)
+	ref := make([]byte, refLen)
+	rng.Read(ref)
+
+	kept, _, err := cv.ConvertNew(d, ref)
+	if err != nil {
+		t.Fatalf("ConvertNew: %v", err)
+	}
+	snapshot := kept.Clone()
+
+	// Churn the converter with other work.
+	for i := 0; i < 10; i++ {
+		d2 := randomDelta(rng, 700)
+		ref2 := make([]byte, 700)
+		rng.Read(ref2)
+		if _, _, err := cv.Convert(d2, ref2); err != nil {
+			t.Fatalf("churn %d: %v", i, err)
+		}
+	}
+
+	if len(kept.Commands) != len(snapshot.Commands) {
+		t.Fatalf("detached result changed length: %d, was %d", len(kept.Commands), len(snapshot.Commands))
+	}
+	for k := range kept.Commands {
+		if !kept.Commands[k].Equal(snapshot.Commands[k]) {
+			t.Fatalf("detached result mutated at command %d: %v, was %v",
+				k, kept.Commands[k], snapshot.Commands[k])
+		}
+	}
+}
+
+// TestConverterConvertAllocs is the steady-state allocation gate for the
+// pooled conversion path: after warm-up, (*Converter).Convert must perform
+// at most 2 allocations per call (it is expected to reach 0; the slack
+// tolerates runtime-internal noise, not converter regressions).
+func TestConverterConvertAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	refLen := int64(4096)
+	d := randomDelta(rng, refLen)
+	ref := make([]byte, refLen)
+	rng.Read(ref)
+
+	cv := NewConverter()
+	if _, _, err := cv.Convert(d, ref); err != nil { // warm the scratch
+		t.Fatalf("warm-up convert: %v", err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, _, err := cv.Convert(d, ref); err != nil {
+			t.Fatalf("convert: %v", err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("steady-state (*Converter).Convert allocates %.1f times per call, want <= 2", allocs)
+	}
+}
+
+// TestBuildCRWIProbe sanity-checks the structural probe against Stats.
+func TestBuildCRWIProbe(t *testing.T) {
+	d := QuadraticDelta(9)
+	cv := NewConverter()
+	copies, edges, err := cv.BuildCRWI(d)
+	if err != nil {
+		t.Fatalf("BuildCRWI: %v", err)
+	}
+	if want := 2*9 - 1; copies != want {
+		t.Fatalf("copies = %d, want %d", copies, want)
+	}
+	if want := 8 * 9; edges != want { // (b−1)·b edges, §6 Figure 3
+		t.Fatalf("edges = %d, want %d", edges, want)
+	}
+	if _, _, err := cv.BuildCRWI(&delta.Delta{}); err != nil {
+		t.Fatalf("BuildCRWI on empty delta: %v", err)
+	}
+}

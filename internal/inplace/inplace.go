@@ -19,7 +19,6 @@
 package inplace
 
 import (
-	"fmt"
 	"sort"
 
 	"ipdelta/internal/codec"
@@ -118,123 +117,12 @@ func WithScratchBudget(n int64) Option {
 //
 // The returned delta applies correctly both with scratch space (Apply) and
 // in place (ApplyInPlace), and always satisfies CheckInPlace.
+//
+// Convert is a thin wrapper over a one-shot Converter; steady-state
+// callers converting many deltas should hold a Converter and amortize its
+// working memory across calls.
 func Convert(d *delta.Delta, ref []byte, opts ...Option) (*delta.Delta, *Stats, error) {
-	o := Options{policy: graph.LocallyMinimum{}, strategy: StrategyDFS}
-	for _, opt := range opts {
-		opt(&o)
-	}
-	if err := d.Validate(); err != nil {
-		return nil, nil, fmt.Errorf("convert: %w", err)
-	}
-	if int64(len(ref)) != d.RefLen {
-		return nil, nil, fmt.Errorf("convert: reference length %d, delta expects %d", len(ref), d.RefLen)
-	}
-
-	// Step 1: partition.
-	var copies, adds []delta.Command
-	for _, c := range d.Commands {
-		if c.Op == delta.OpCopy {
-			copies = append(copies, c)
-		} else {
-			adds = append(adds, c)
-		}
-	}
-	policyName := o.policy.Name()
-	if o.strategy == StrategySCCGreedy {
-		policyName = "scc-greedy"
-	}
-	stats := &Stats{
-		Copies: len(copies),
-		Adds:   len(adds),
-		Policy: policyName,
-	}
-
-	// Step 2: sort copies by increasing write offset. Write intervals are
-	// disjoint (validated above), so this order is strict.
-	sort.Slice(copies, func(i, j int) bool { return copies[i].To < copies[j].To })
-
-	// Step 3: build the CRWI digraph.
-	g := buildCRWI(copies)
-	stats.Edges = g.NumEdges()
-
-	// Step 4: topological sort with cycle breaking. The cost of deleting a
-	// vertex is the compression lost by re-encoding its copy as an add:
-	// l − |f|, with |f| the varint size of the from-offset.
-	cost := func(v int) int64 {
-		c := copies[v]
-		return c.Length - int64(codec.UvarintLen(uint64(c.From)))
-	}
-	var order, removed []int
-	switch o.strategy {
-	case StrategySCCGreedy:
-		removed = graph.GreedyFeedbackVertexSet(g, cost)
-		mask := make([]bool, len(copies))
-		for _, v := range removed {
-			mask[v] = true
-			stats.RemovedCost += cost(v)
-		}
-		var ok bool
-		order, ok = graph.TopoSortExcluding(g, mask)
-		if !ok {
-			// The greedy set is acyclic by construction; this is a bug.
-			return nil, nil, fmt.Errorf("convert: SCC strategy left a cycle")
-		}
-		stats.CyclesBroken = len(removed)
-	default:
-		res := graph.TopoSort(g, cost, o.policy)
-		order, removed = res.Order, res.Removed
-		stats.CyclesBroken = res.CyclesBroken
-		stats.CycleVertices = res.CycleVertices
-		stats.RemovedCost = res.RemovedCost
-	}
-
-	// Step 5: emit surviving copies in topological order, then adds —
-	// converted copies first (their data read out of the reference), then
-	// the original adds sorted by write offset for determinism.
-	out := &delta.Delta{
-		RefLen:     d.RefLen,
-		VersionLen: d.VersionLen,
-		Commands:   make([]delta.Command, 0, len(d.Commands)),
-	}
-	// Bounded-scratch extension: removed copies that fit the budget are
-	// stashed up front (while their source bytes are still original) and
-	// unstashed at the end, instead of carrying their data as adds.
-	budget := o.scratch
-	var stashes, unstashes []delta.Command
-	var addVictims []int
-	for _, v := range removed {
-		c := copies[v]
-		if c.Length <= budget {
-			stashes = append(stashes, delta.NewStash(c.From, c.Length))
-			unstashes = append(unstashes, delta.NewUnstash(c.To, c.Length))
-			budget -= c.Length
-			stats.StashedCopies++
-			stats.ScratchUsed += c.Length
-			continue
-		}
-		addVictims = append(addVictims, v)
-	}
-	out.Commands = append(out.Commands, stashes...)
-	for _, v := range order {
-		out.Commands = append(out.Commands, copies[v])
-	}
-	out.Commands = append(out.Commands, unstashes...)
-	converted := make([]delta.Command, 0, len(addVictims))
-	for _, v := range addVictims {
-		c := copies[v]
-		data := make([]byte, c.Length)
-		copy(data, ref[c.From:c.From+c.Length])
-		converted = append(converted, delta.NewAdd(c.To, data))
-		stats.ConvertedCopies++
-		stats.ConvertedBytes += c.Length
-	}
-	sort.Slice(converted, func(i, j int) bool { return converted[i].To < converted[j].To })
-	out.Commands = append(out.Commands, converted...)
-	tail := make([]delta.Command, len(adds))
-	copy(tail, adds)
-	sort.Slice(tail, func(i, j int) bool { return tail[i].To < tail[j].To })
-	out.Commands = append(out.Commands, tail...)
-	return out, stats, nil
+	return NewConverter(opts...).ConvertNew(d, ref)
 }
 
 // buildCRWI constructs the conflicting-read-write-interval digraph over
@@ -243,6 +131,10 @@ func Convert(d *delta.Delta, ref []byte, opts ...Option) (*delta.Delta, *Stats, 
 // interval [t_j, t_j+l_j-1]; performing i before j then avoids the WR
 // conflict. Conflicting write intervals are located by binary search over
 // the sorted write offsets, giving the O(|C| log |C| + |E|) bound of §4.3.
+//
+// This is the reference builder: the conversion pipeline uses the
+// sweep-line CSR builder (crwiScratch.build), whose edge set is
+// property-tested to be identical to this one's.
 func buildCRWI(copies []delta.Command) *graph.Digraph {
 	g := graph.New(len(copies))
 	for i, c := range copies {

@@ -126,6 +126,10 @@ func NewSet(ivs ...Interval) *Set {
 // Len returns the number of maximal intervals in the set.
 func (s *Set) Len() int { return len(s.ivs) }
 
+// Reset empties the set while retaining its backing capacity, so a set can
+// be reused across validation passes without reallocating.
+func (s *Set) Reset() { s.ivs = s.ivs[:0] }
+
 // Total returns the number of offsets covered by the set.
 func (s *Set) Total() int64 {
 	var n int64
