@@ -3,12 +3,20 @@
 // part, the in-place delta is streamed and applied with a bounded working
 // buffer, and the updated image is written back.
 //
+// The client is resilient: transient failures are retried with capped
+// exponential backoff (resuming the interrupted update), and persistent
+// delta failures degrade to a full-image transfer. For chaos testing, the
+// -fault-* flags wrap the connection in a seeded network fault injector.
+//
 // Usage:
 //
 //	updatec -server 127.0.0.1:7070 -image device.img [-capacity N] [-rate BPS]
+//	        [-timeout D] [-retries N] [-fallback-after N]
+//	        [-fault-seed N] [-fault-rate P] [-fault-corrupt P] [-fault-drop-after N]
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -33,6 +41,13 @@ func run(args []string) error {
 	capacity := fs.Int64("capacity", 0, "flash capacity in bytes (default: 2x image size)")
 	rate := fs.Int64("rate", 0, "simulated link rate in bits/second (0 = unthrottled)")
 	workBuf := fs.Int("workbuf", device.DefaultWorkBufSize, "device working buffer size")
+	timeout := fs.Duration("timeout", 0, "per-message I/O deadline inside a session (0 = none)")
+	retries := fs.Int("retries", 8, "maximum session attempts before giving up")
+	fallbackAfter := fs.Int("fallback-after", 3, "consecutive failed delta sessions before requesting the full image (-1 = never)")
+	faultSeed := fs.Uint64("fault-seed", 0, "seed for the network fault injector (and retry jitter)")
+	faultRate := fs.Float64("fault-rate", 0, "injected per-operation connection-drop probability")
+	faultCorrupt := fs.Float64("fault-corrupt", 0, "injected per-read byte-corruption probability")
+	faultDropAfter := fs.Int64("fault-drop-after", 0, "kill each connection after exactly N bytes (0 = never)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,20 +76,45 @@ func run(args []string) error {
 	}
 	dev := device.New(store, imageLen, *workBuf)
 
-	var conn net.Conn
-	conn, err = net.Dial("tcp", *server)
+	// Each attempt dials a fresh connection; faults (if configured) get a
+	// per-attempt seed so retries see fresh but reproducible weather.
+	injectFaults := *faultRate > 0 || *faultCorrupt > 0 || *faultDropAfter > 0
+	dials := uint64(0)
+	dial := func(ctx context.Context) (net.Conn, error) {
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "tcp", *server)
+		if err != nil {
+			return nil, err
+		}
+		c := net.Conn(conn)
+		if *rate > 0 {
+			c = netupdate.NewThrottledConn(c, *rate)
+		}
+		if injectFaults {
+			dials++
+			c = netupdate.NewFlakyConn(c, netupdate.FaultProfile{
+				Seed:           *faultSeed + dials,
+				DropAfterBytes: *faultDropAfter,
+				OpFaultRate:    *faultRate,
+				CorruptRate:    *faultCorrupt,
+			})
+		}
+		return c, nil
+	}
+	runner := netupdate.NewRunner(netupdate.RunnerConfig{
+		MaxAttempts:       *retries,
+		MessageTimeout:    *timeout,
+		FullFallbackAfter: *fallbackAfter,
+		Seed:              *faultSeed,
+	})
+	rep, err := runner.Run(context.Background(), dial, dev)
+	for _, line := range rep.FailureLog {
+		fmt.Fprintln(os.Stderr, "updatec:", line)
+	}
 	if err != nil {
 		return err
 	}
-	defer conn.Close()
-	if *rate > 0 {
-		conn = netupdate.NewThrottledConn(conn, *rate)
-	}
-	res, err := netupdate.UpdateDevice(conn, dev)
-	if err != nil {
-		return err
-	}
-	if res.UpToDate {
+	if rep.Result.UpToDate {
 		fmt.Println("updatec: already up to date")
 		return nil
 	}
@@ -84,7 +124,11 @@ func run(args []string) error {
 	if err := store.Sync(); err != nil {
 		return err
 	}
-	fmt.Printf("updatec: updated %s in place via %d delta bytes (image now %d bytes)\n",
-		*imagePath, res.DeltaBytes, dev.ImageLen())
+	how := "delta"
+	if rep.Result.FullImage {
+		how = "full image (degraded)"
+	}
+	fmt.Printf("updatec: updated %s in place via %d %s bytes in %d attempt(s) (image now %d bytes)\n",
+		*imagePath, rep.Result.DeltaBytes, how, rep.Attempts, dev.ImageLen())
 	return nil
 }

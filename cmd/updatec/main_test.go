@@ -58,6 +58,47 @@ func TestUpdatecAgainstServer(t *testing.T) {
 	}
 }
 
+func TestUpdatecRetriesThroughFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	v1 := make([]byte, 16<<10)
+	rng.Read(v1)
+	v2 := append([]byte(nil), v1...)
+	copy(v2[2048:4096], v1[10240:12288])
+
+	srv, err := netupdate.NewServer([][]byte{v1, v2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go srv.Serve(l) //nolint:errcheck
+
+	dir := t.TempDir()
+	imagePath := filepath.Join(dir, "device.img")
+	if err := os.WriteFile(imagePath, v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A 20% per-operation drop rate kills most sessions; the retry loop
+	// (with resume) must still converge within the attempt budget.
+	if err := run([]string{
+		"-server", l.Addr().String(), "-image", imagePath,
+		"-retries", "25", "-fault-rate", "0.2", "-fault-seed", "7",
+		"-fallback-after", "5", "-timeout", "5s",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(imagePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, v2) {
+		t.Fatal("device image not updated to v2 through faults")
+	}
+}
+
 func TestUpdatecUsageErrors(t *testing.T) {
 	for _, args := range [][]string{
 		{},

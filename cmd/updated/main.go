@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	updated -listen 127.0.0.1:7070 v1.img v2.img v3.img
+//	updated -listen 127.0.0.1:7070 [-timeout D] [-failure-budget N] v1.img v2.img v3.img
 //
 // Images are the release history, oldest first; devices running any of them
-// are upgraded to the last one.
+// are upgraded to the last one. -timeout arms a per-message I/O deadline so
+// a stalled client cannot pin a server worker; -failure-budget turns away
+// clients (by remote host) after N consecutive failed sessions.
 package main
 
 import (
@@ -29,6 +31,8 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("updated", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7070", "listen address")
+	timeout := fs.Duration("timeout", 0, "per-message I/O deadline inside a session (0 = none)")
+	failBudget := fs.Int("failure-budget", 0, "reject a client after N consecutive failed sessions (0 = never)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -44,7 +48,10 @@ func run(args []string) error {
 		}
 		history = append(history, img)
 	}
-	srv, err := netupdate.NewServer(history)
+	srv, err := netupdate.NewServer(history,
+		netupdate.WithMessageTimeout(*timeout),
+		netupdate.WithFailureBudget(*failBudget),
+	)
 	if err != nil {
 		return err
 	}

@@ -27,9 +27,12 @@ var (
 // progress is the simulated NVRAM word recording how far an interrupted
 // update got: the number of fully applied commands and the bytes completed
 // of the in-flight command. Sixteen bytes of durable state is all a real
-// device needs to make in-place updates power-cut safe.
+// device needs to make in-place updates power-cut safe. The full flag
+// marks a full-image install (the degradation path) instead of a delta:
+// there cmd is unused and done counts image bytes written.
 type progress struct {
 	active     bool
+	full       bool
 	cmd        int64
 	done       int64
 	refLen     int64
@@ -120,20 +123,41 @@ func (d *Device) ImageCRC() (uint32, error) {
 	return h.Sum32(), nil
 }
 
-// Pending describes an interrupted update.
+// Pending describes an interrupted update. Full marks an interrupted
+// full-image install; RefCRC and RefLen are meaningless there (the source
+// image is already partially overwritten).
 type Pending struct {
 	RefCRC     uint32
 	RefLen     int64
 	VersionLen int64
+	Full       bool
 }
 
 // PendingUpdate returns details of the interrupted update, if any, so an
-// update client can ask the server to re-stream the same delta.
+// update client can ask the server to re-stream the same delta (or the
+// same full image).
 func (d *Device) PendingUpdate() (Pending, bool) {
 	if !d.nv.active {
 		return Pending{}, false
 	}
-	return Pending{RefCRC: d.nv.refCRC, RefLen: d.nv.refLen, VersionLen: d.nv.versionLen}, true
+	return Pending{
+		RefCRC:     d.nv.refCRC,
+		RefLen:     d.nv.refLen,
+		VersionLen: d.nv.versionLen,
+		Full:       d.nv.full,
+	}, true
+}
+
+// AbandonUpdate discards any pending update state. The flash may hold a
+// partially applied update afterwards, so the caller must follow up with a
+// transfer that does not depend on the installed image — InstallFull is
+// the intended successor.
+func (d *Device) AbandonUpdate() {
+	if !d.nv.active {
+		return
+	}
+	d.nv = progress{}
+	d.persist()
 }
 
 // Apply streams an in-place reconstructible delta from r and applies it to
@@ -171,6 +195,11 @@ func (d *Device) Apply(r io.Reader) error {
 	}
 	scratchBase := d.store.Capacity() - hdr.ScratchLen
 	if d.nv.active {
+		if d.nv.full {
+			// A full-image install is pending; its partial writes make the
+			// installed image unusable as a delta reference.
+			return ErrResumeMismatch
+		}
 		if hdr.RefLen != d.nv.refLen || hdr.VersionLen != d.nv.versionLen || int64(hdr.NumCommands) != d.nv.numCmds {
 			return ErrResumeMismatch
 		}
@@ -288,6 +317,50 @@ func (d *Device) applyCopy(c delta.Command, done int64) error {
 		d.nv.done = done
 		d.persist()
 	}
+	return nil
+}
+
+// InstallFull streams a complete image of length bytes from r into the
+// flash, replacing whatever is installed — the degradation path when delta
+// sessions keep failing or the server does not know the device's version.
+//
+// Like Apply, the install is resumable: progress is persisted per chunk,
+// and re-streaming the same image continues where the last attempt died
+// (the already-written prefix is drained from r without rewriting it). A
+// pending delta update, or a pending full install of a different length,
+// is abandoned and the install restarts from byte zero.
+func (d *Device) InstallFull(r io.Reader, length int64) error {
+	if length > d.store.Capacity() {
+		return fmt.Errorf("%w: need %d bytes, capacity %d", ErrImageTooLarge, length, d.store.Capacity())
+	}
+	if !d.nv.active || !d.nv.full || d.nv.versionLen != length {
+		d.nv = progress{active: true, full: true, versionLen: length}
+		d.persist()
+	}
+	done := d.nv.done
+	if done > 0 {
+		if _, err := io.CopyN(io.Discard, r, done); err != nil {
+			return err
+		}
+	}
+	for done < length {
+		n := int64(len(d.work))
+		if length-done < n {
+			n = length - done
+		}
+		if _, err := io.ReadFull(r, d.work[:n]); err != nil {
+			return err
+		}
+		if err := d.store.WriteAt(d.work[:n], done); err != nil {
+			return err
+		}
+		done += n
+		d.nv.done = done
+		d.persist()
+	}
+	d.imageLen = length
+	d.nv = progress{}
+	d.persist()
 	return nil
 }
 

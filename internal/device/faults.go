@@ -1,17 +1,32 @@
 package device
 
-import "math/rand"
+import (
+	"errors"
+	"math/rand/v2"
+	"sync"
+)
+
+// ErrTransientIO is returned for injected flaky-flash failures: the
+// operation failed but the part is still alive, so retrying is the right
+// response. It is distinct from ErrPowerCut, which models the device dying
+// mid-write and coming back later — tests and retry policies can tell the
+// two apart.
+var ErrTransientIO = errors.New("device: transient I/O error")
 
 // FaultyStore decorates any Store with failure injection, so power-cut and
 // flaky-flash scenarios can be tested against file-backed stores as well
 // as the in-memory Flash (which has its own simple write-count trigger).
 //
 // Failures are counted across reads and writes together when configured
-// with FailAfterOps; independent random failure rates can also be set.
+// with FailAfterOps or FailEveryOps; independent random failure rates can
+// also be set. All methods are goroutine-safe, so one FaultyStore can sit
+// under a device driven by connection-level chaos from several goroutines.
 type FaultyStore struct {
 	inner Store
 
+	mu              sync.Mutex
 	opsUntilFailure int64 // -1 disarmed
+	rearmEvery      int64 // 0: one-shot; >0: re-arm after firing
 	failNextKind    error
 
 	rng           *rand.Rand
@@ -27,14 +42,38 @@ func NewFaultyStore(inner Store) *FaultyStore {
 }
 
 // FailAfterOps arms a deterministic failure: the (n+1)-th operation (read
-// or write) from now fails with ErrPowerCut. Negative n disarms.
-func (f *FaultyStore) FailAfterOps(n int64) { f.opsUntilFailure = n }
+// or write) from now fails with ErrPowerCut, and every operation after it
+// keeps failing until the store is re-armed. Negative n disarms.
+func (f *FaultyStore) FailAfterOps(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.opsUntilFailure = n
+	f.rearmEvery = 0
+}
+
+// FailEveryOps arms a recurring power cut: every n-th operation fails with
+// ErrPowerCut and the counter re-arms, modelling a device that keeps
+// browning out mid-update. Progress persisted between cuts survives, so a
+// resumable update still converges. n <= 0 disarms.
+func (f *FaultyStore) FailEveryOps(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n <= 0 {
+		f.opsUntilFailure = -1
+		f.rearmEvery = 0
+		return
+	}
+	f.opsUntilFailure = n - 1
+	f.rearmEvery = n
+}
 
 // WithRandomWriteFailures makes each write fail with probability p,
-// deterministically from seed.
+// deterministically from seed, returning ErrTransientIO.
 func (f *FaultyStore) WithRandomWriteFailures(p float64, seed int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.writeFailProb = p
-	f.rng = rand.New(rand.NewSource(seed))
+	f.rng = rand.New(rand.NewPCG(uint64(seed), 0))
 }
 
 // Capacity implements Store.
@@ -53,18 +92,26 @@ func (f *FaultyStore) WriteAt(p []byte, off int64) error {
 	if err := f.tick(); err != nil {
 		return err
 	}
-	if f.rng != nil && f.rng.Float64() < f.writeFailProb {
-		return ErrPowerCut
+	f.mu.Lock()
+	flaky := f.rng != nil && f.rng.Float64() < f.writeFailProb
+	f.mu.Unlock()
+	if flaky {
+		return ErrTransientIO
 	}
 	return f.inner.WriteAt(p, off)
 }
 
 // tick advances the deterministic failure counter.
 func (f *FaultyStore) tick() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.opsUntilFailure < 0 {
 		return nil
 	}
 	if f.opsUntilFailure == 0 {
+		if f.rearmEvery > 0 {
+			f.opsUntilFailure = f.rearmEvery - 1
+		}
 		return f.failNextKind
 	}
 	f.opsUntilFailure--

@@ -3,6 +3,7 @@ package device
 import (
 	"bytes"
 	"errors"
+	"sync"
 	"testing"
 
 	"ipdelta/internal/codec"
@@ -44,7 +45,11 @@ func TestFaultyStoreRandomWriteFailures(t *testing.T) {
 	buf := make([]byte, 8)
 	failures := 0
 	for k := 0; k < 200; k++ {
-		if err := f.WriteAt(buf, 0); errors.Is(err, ErrPowerCut) {
+		err := f.WriteAt(buf, 0)
+		if errors.Is(err, ErrPowerCut) {
+			t.Fatal("flaky write reported as power cut")
+		}
+		if errors.Is(err, ErrTransientIO) {
 			failures++
 		}
 	}
@@ -55,6 +60,56 @@ func TestFaultyStoreRandomWriteFailures(t *testing.T) {
 	if err := f.ReadAt(buf, 0); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestFaultyStoreFailEveryOps(t *testing.T) {
+	inner, _ := NewFlash(nil, 64)
+	f := NewFaultyStore(inner)
+	f.FailEveryOps(3)
+	buf := make([]byte, 4)
+	for round := 0; round < 3; round++ {
+		for k := 0; k < 2; k++ {
+			if err := f.ReadAt(buf, 0); err != nil {
+				t.Fatalf("round %d op %d: %v", round, k, err)
+			}
+		}
+		if err := f.ReadAt(buf, 0); !errors.Is(err, ErrPowerCut) {
+			t.Fatalf("round %d: error = %v, want recurring ErrPowerCut", round, err)
+		}
+	}
+	f.FailEveryOps(0)
+	if err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// inertStore is a goroutine-safe no-op Store, isolating FaultyStore's own
+// locking from Flash (which, like a real device, is single-threaded).
+type inertStore struct{}
+
+func (inertStore) ReadAt(p []byte, off int64) error  { return nil }
+func (inertStore) WriteAt(p []byte, off int64) error { return nil }
+func (inertStore) Capacity() int64                   { return 1024 }
+
+func TestFaultyStoreConcurrentAccess(t *testing.T) {
+	// Injection state is shared with connection-level chaos runs; hammer it
+	// from several goroutines so the race detector can vet the locking.
+	f := NewFaultyStore(inertStore{})
+	f.WithRandomWriteFailures(0.1, 3)
+	f.FailEveryOps(17)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 8)
+			for k := 0; k < 500; k++ {
+				_ = f.WriteAt(buf, 0)
+				_ = f.ReadAt(buf, 0)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestDeviceSurvivesFlakyStore(t *testing.T) {
@@ -76,7 +131,7 @@ func TestDeviceSurvivesFlakyStore(t *testing.T) {
 		if err == nil {
 			break
 		}
-		if !errors.Is(err, ErrPowerCut) {
+		if !errors.Is(err, ErrTransientIO) {
 			t.Fatalf("unexpected error: %v", err)
 		}
 		attempts++

@@ -2,9 +2,11 @@ package netupdate
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"net"
+	"time"
 
 	"ipdelta/internal/device"
 )
@@ -13,10 +15,26 @@ import (
 type Result struct {
 	// UpToDate is true when the server had nothing newer.
 	UpToDate bool
-	// DeltaBytes is the size of the received delta payload.
+	// DeltaBytes is the size of the received payload (a delta, or the
+	// whole image when FullImage is set).
 	DeltaBytes int64
 	// Resumed is true when the session continued an interrupted update.
 	Resumed bool
+	// FullImage is true when the session transferred the complete current
+	// image instead of a delta — the degradation path.
+	FullImage bool
+}
+
+// SessionOptions tunes one update session.
+type SessionOptions struct {
+	// MessageTimeout arms a fresh read/write deadline before every I/O
+	// operation on the connection, so a stalled peer fails the session
+	// quickly while slow-but-flowing transfers proceed. Zero disables
+	// deadlines.
+	MessageTimeout time.Duration
+	// RequestFull asks the server for the complete current image instead
+	// of a delta. Any pending delta update is abandoned.
+	RequestFull bool
 }
 
 // UpdateDevice runs one update session for dev over conn. On success the
@@ -28,23 +46,43 @@ type Result struct {
 // progress; calling UpdateDevice again with a fresh connection completes
 // the update.
 func UpdateDevice(conn net.Conn, dev *device.Device) (Result, error) {
-	r := bufio.NewReader(conn)
-	w := bufio.NewWriter(conn)
+	return RunSession(context.Background(), conn, dev, SessionOptions{})
+}
+
+// RunSession is UpdateDevice with a context and per-session options.
+// Cancelling the context aborts in-flight I/O on the connection; the
+// device keeps its resume state, so a later session continues the update.
+func RunSession(ctx context.Context, conn net.Conn, dev *device.Device, opts SessionOptions) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	stop := cancelOnCtx(ctx, conn)
+	defer stop()
+	c := withDeadlines(conn, opts.MessageTimeout)
+	r := bufio.NewReader(c)
+	w := bufio.NewWriter(c)
 
 	var h hello
-	if p, ok := dev.PendingUpdate(); ok {
+	p, pending := dev.PendingUpdate()
+	switch {
+	case pending && (p.Full || opts.RequestFull):
+		// Resuming (or forcing) a full install: the flash is partially
+		// overwritten, so there is no meaningful source CRC to report.
+		h = hello{Updating: p.Full, WantFull: true, Capacity: dev.FlashCapacity()}
+	case pending:
 		h = hello{
 			Updating: true,
 			ImageCRC: p.RefCRC,
 			ImageLen: p.RefLen,
 			Capacity: dev.FlashCapacity(),
 		}
-	} else {
+	default:
 		crc, err := dev.ImageCRC()
 		if err != nil {
 			return Result{}, err
 		}
 		h = hello{
+			WantFull: opts.RequestFull,
 			ImageCRC: crc,
 			ImageLen: dev.ImageLen(),
 			Capacity: dev.FlashCapacity(),
@@ -65,26 +103,53 @@ func UpdateDevice(conn net.Conn, dev *device.Device) (Result, error) {
 	case msgUpToDate:
 		return Result{UpToDate: true}, nil
 	case msgError:
-		payload := make([]byte, n)
-		if _, err := io.ReadFull(r, payload); err != nil {
+		payload, err := readPayload(r, n)
+		if err != nil {
 			return Result{}, err
 		}
-		return Result{}, fmt.Errorf("netupdate: server error: %s", payload)
+		return Result{}, &ServerError{Msg: string(payload)}
 	case msgDelta:
 		// Stream the delta payload straight into the device.
 		res := Result{DeltaBytes: n, Resumed: h.Updating}
 		if err := dev.Apply(io.LimitReader(r, n)); err != nil {
 			return res, err
 		}
-		crc, err := dev.ImageCRC()
-		if err != nil {
+		return res, confirm(r, w, dev)
+	case msgFull:
+		res := Result{DeltaBytes: n, Resumed: h.Updating, FullImage: true}
+		if err := dev.InstallFull(io.LimitReader(r, n), n); err != nil {
 			return res, err
 		}
-		if err := writeMsg(w, msgStatus, encodeStatus(status{OK: true, ImageCRC: crc})); err != nil {
-			return res, err
-		}
-		return res, w.Flush()
+		return res, confirm(r, w, dev)
 	default:
 		return Result{}, fmt.Errorf("%w: unexpected message %#x", ErrProtocol, typ)
 	}
+}
+
+// confirm reports the reconstructed image's CRC and waits for the server's
+// verdict, so a transfer corrupted in flight is detected here rather than
+// on the next boot.
+func confirm(r *bufio.Reader, w *bufio.Writer, dev *device.Device) error {
+	crc, err := dev.ImageCRC()
+	if err != nil {
+		return err
+	}
+	if err := writeMsg(w, msgStatus, encodeStatus(status{OK: true, ImageCRC: crc})); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	payload, err := readMsg(r, msgAck)
+	if err != nil {
+		return err
+	}
+	ok, err := decodeAck(payload)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return ErrImageRejected
+	}
+	return nil
 }

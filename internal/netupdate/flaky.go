@@ -1,0 +1,152 @@
+package netupdate
+
+import (
+	"errors"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjectedFault is returned by FlakyConn once its fault trigger fires;
+// the connection is dead from then on, like a dropped link.
+var ErrInjectedFault = errors.New("netupdate: injected connection fault")
+
+// FaultProfile configures FlakyConn's deterministic fault injection. All
+// randomness derives from Seed, so any failing chaos run replays exactly.
+type FaultProfile struct {
+	// Seed feeds the fault RNG.
+	Seed uint64
+	// DropAfterBytes kills the connection after exactly this many payload
+	// bytes have crossed it (reads and writes combined). Zero disables.
+	DropAfterBytes int64
+	// OpFaultRate is the per-operation probability that the connection
+	// dies before the read or write happens.
+	OpFaultRate float64
+	// CorruptRate is the per-read probability that one byte of the data
+	// just received is flipped — an undetected transport error.
+	CorruptRate float64
+	// SpikeRate is the per-operation probability of a latency spike of
+	// Spike before the operation proceeds.
+	SpikeRate float64
+	// Spike is the injected latency spike duration.
+	Spike time.Duration
+}
+
+// FlakyConn wraps a net.Conn with deterministic, seeded network-fault
+// injection: connection drops (after N bytes, or randomly per operation),
+// latency spikes, and byte corruption. It is the network twin of
+// device.FaultyStore, and goroutine-safe so a chaos run can share one
+// profile across concurrent sessions.
+type FlakyConn struct {
+	net.Conn
+
+	mu          sync.Mutex
+	profile     FaultProfile
+	rng         *rand.Rand
+	transferred int64
+	dead        bool
+}
+
+// NewFlakyConn wraps conn with the given fault profile.
+func NewFlakyConn(conn net.Conn, p FaultProfile) *FlakyConn {
+	return &FlakyConn{
+		Conn:    conn,
+		profile: p,
+		rng:     rand.New(rand.NewPCG(p.Seed, 0)),
+	}
+}
+
+// Transferred returns how many bytes crossed the connection so far.
+func (f *FlakyConn) Transferred() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.transferred
+}
+
+// plan draws this operation's fate: an injected drop, a latency spike, a
+// byte-limit for the transfer, and (for reads) a corruption draw. The RNG
+// is consulted in a fixed order so runs replay deterministically. The
+// blocking I/O itself happens outside the lock.
+func (f *FlakyConn) plan(read bool) (allow int64, spike time.Duration, corrupt float64, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead {
+		return 0, 0, -1, ErrInjectedFault
+	}
+	if f.profile.OpFaultRate > 0 && f.rng.Float64() < f.profile.OpFaultRate {
+		f.dead = true
+		return 0, 0, -1, ErrInjectedFault
+	}
+	if f.profile.SpikeRate > 0 && f.rng.Float64() < f.profile.SpikeRate {
+		spike = f.profile.Spike
+	}
+	corrupt = -1
+	if read && f.profile.CorruptRate > 0 && f.rng.Float64() < f.profile.CorruptRate {
+		corrupt = f.rng.Float64() // position fraction of the flipped byte
+	}
+	allow = int64(1) << 62
+	if f.profile.DropAfterBytes > 0 {
+		allow = f.profile.DropAfterBytes - f.transferred
+		if allow <= 0 {
+			f.dead = true
+			return 0, 0, -1, ErrInjectedFault
+		}
+	}
+	return allow, spike, corrupt, nil
+}
+
+// account adds n transferred bytes and kills the connection once the byte
+// budget is exactly spent.
+func (f *FlakyConn) account(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.transferred += int64(n)
+	if f.profile.DropAfterBytes > 0 && f.transferred >= f.profile.DropAfterBytes {
+		f.dead = true
+	}
+}
+
+// Read implements net.Conn.
+func (f *FlakyConn) Read(p []byte) (int, error) {
+	allow, spike, corrupt, err := f.plan(true)
+	if err != nil {
+		return 0, err
+	}
+	if spike > 0 {
+		time.Sleep(spike)
+	}
+	if int64(len(p)) > allow {
+		// Truncate the request so the drop lands on an exact byte
+		// boundary — table-driven cut-point tests depend on it.
+		p = p[:allow]
+	}
+	n, err := f.Conn.Read(p)
+	if n > 0 && corrupt >= 0 {
+		p[int(corrupt*float64(n))] ^= 0x20
+	}
+	f.account(n)
+	return n, err
+}
+
+// Write implements net.Conn.
+func (f *FlakyConn) Write(p []byte) (int, error) {
+	allow, spike, _, err := f.plan(false)
+	if err != nil {
+		return 0, err
+	}
+	if spike > 0 {
+		time.Sleep(spike)
+	}
+	if int64(len(p)) > allow {
+		n, err := f.Conn.Write(p[:allow])
+		f.account(n)
+		if err != nil {
+			return n, err
+		}
+		return n, ErrInjectedFault
+	}
+	n, err := f.Conn.Write(p)
+	f.account(n)
+	return n, err
+}

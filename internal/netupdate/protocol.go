@@ -6,15 +6,24 @@
 // Protocol (all messages are a one-byte type, a uvarint payload length and
 // the payload):
 //
-//	device → server  HELLO   {updating, imageCRC, imageLen, capacity}
+//	device → server  HELLO   {flags, imageCRC, imageLen, capacity}
 //	server → device  UPTODATE                    — image is current
 //	                 DELTA   {delta file bytes}  — apply this in place
+//	                 FULL    {image bytes}       — full-image degradation
 //	                 ERROR   {message}           — e.g. unknown version
 //	device → server  STATUS  {ok, imageCRC}
+//	server → device  ACK     {ok}                — server verified the CRC
+//
+// The hello flags carry two bits: updating (an interrupted update is being
+// resumed) and wantFull (the device asks for the whole current image
+// instead of a delta — the degradation path after repeated delta
+// failures or when the server does not know the device's version).
 //
 // A device that lost power mid-update reconnects with updating=true and the
 // CRC of the version it was upgrading from; the server regenerates the same
-// delta deterministically and the device resumes where it stopped.
+// delta deterministically and the device resumes where it stopped. The
+// final ACK closes the loop: a device whose flash was corrupted by a bad
+// transfer learns about it immediately and can fall back to a full image.
 package netupdate
 
 import (
@@ -31,20 +40,43 @@ const (
 	msgDelta    = 0x03
 	msgError    = 0x04
 	msgStatus   = 0x05
+	msgFull     = 0x06
+	msgAck      = 0x07
 )
 
-// maxMessage bounds a single protocol message (delta payloads included).
+// maxMessage bounds a single protocol message (delta and full-image
+// payloads included).
 const maxMessage = 1 << 30
+
+// payloadChunk is the allocation granularity for buffered payload reads: a
+// hostile length prefix can cost at most one idle chunk, never a
+// wire-supplied amount of memory.
+const payloadChunk = 1 << 20
+
+// hello flag bits.
+const (
+	helloUpdating = 1 << 0
+	helloWantFull = 1 << 1
+)
 
 // Protocol errors.
 var (
 	ErrUnknownVersion = errors.New("netupdate: device runs a version the server does not know")
 	ErrProtocol       = errors.New("netupdate: protocol violation")
+	// ErrMessageTooLarge reports a length prefix beyond the protocol's
+	// hard message-size limit. It wraps ErrProtocol semantics: hostile or
+	// corrupt framing, never a valid peer.
+	ErrMessageTooLarge = errors.New("netupdate: message exceeds size limit")
+	// ErrImageRejected reports that the server's final ACK was negative:
+	// the device-computed CRC did not match the distributed version, so
+	// the local image must be considered corrupt.
+	ErrImageRejected = errors.New("netupdate: server rejected the reconstructed image CRC")
 )
 
 // hello is the device's opening message.
 type hello struct {
 	Updating bool
+	WantFull bool
 	ImageCRC uint32
 	ImageLen int64
 	Capacity int64
@@ -79,7 +111,7 @@ func readMsgHeader(r io.ByteReader) (byte, int64, error) {
 		return 0, 0, fmt.Errorf("%w: bad length: %v", ErrProtocol, err)
 	}
 	if n > maxMessage {
-		return 0, 0, fmt.Errorf("%w: message of %d bytes", ErrProtocol, n)
+		return 0, 0, fmt.Errorf("%w: %w: message of %d bytes (limit %d)", ErrProtocol, ErrMessageTooLarge, n, int64(maxMessage))
 	}
 	return typ, int64(n), nil
 }
@@ -90,18 +122,45 @@ type byteAndStreamReader interface {
 	io.ByteReader
 }
 
+// readPayload buffers n payload bytes, growing only as data actually
+// arrives. A peer that announces a huge length but never sends it costs at
+// most one payloadChunk of memory, not n bytes — the length prefix is a
+// claim, never an allocation instruction.
+func readPayload(r io.Reader, n int64) ([]byte, error) {
+	if n <= payloadChunk {
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, fmt.Errorf("%w: truncated payload: %v", ErrProtocol, err)
+		}
+		return payload, nil
+	}
+	buf := make([]byte, 0, payloadChunk)
+	tmp := make([]byte, payloadChunk)
+	for int64(len(buf)) < n {
+		k := n - int64(len(buf))
+		if k > payloadChunk {
+			k = payloadChunk
+		}
+		if _, err := io.ReadFull(r, tmp[:k]); err != nil {
+			return nil, fmt.Errorf("%w: truncated payload: %v", ErrProtocol, err)
+		}
+		buf = append(buf, tmp[:k]...)
+	}
+	return buf, nil
+}
+
 // readMsg reads a full message of an expected type.
 func readMsg(r byteAndStreamReader, wantType byte) ([]byte, error) {
 	typ, n, err := readMsgHeader(r)
 	if err != nil {
 		return nil, err
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("%w: truncated payload: %v", ErrProtocol, err)
+	payload, err := readPayload(r, n)
+	if err != nil {
+		return nil, err
 	}
 	if typ == msgError {
-		return nil, fmt.Errorf("netupdate: server error: %s", payload)
+		return nil, &ServerError{Msg: string(payload)}
 	}
 	if typ != wantType {
 		return nil, fmt.Errorf("%w: got message %#x, want %#x", ErrProtocol, typ, wantType)
@@ -109,11 +168,26 @@ func readMsg(r byteAndStreamReader, wantType byte) ([]byte, error) {
 	return payload, nil
 }
 
+// ServerError is an ERROR message received from the peer: the server
+// inspected the session and rejected it (unknown version, capacity,
+// internal failure). It is a session-level verdict, not a transport fault,
+// so retrying the same delta session is pointless; the degradation ladder
+// moves to a full-image transfer instead.
+type ServerError struct {
+	Msg string
+}
+
+// Error implements error.
+func (e *ServerError) Error() string { return "netupdate: server error: " + e.Msg }
+
 func encodeHello(h hello) []byte {
 	buf := make([]byte, 0, 32)
 	b := byte(0)
 	if h.Updating {
-		b = 1
+		b |= helloUpdating
+	}
+	if h.WantFull {
+		b |= helloWantFull
 	}
 	buf = append(buf, b)
 	buf = binary.BigEndian.AppendUint32(buf, h.ImageCRC)
@@ -127,7 +201,11 @@ func decodeHello(p []byte) (hello, error) {
 	if len(p) < 5 {
 		return h, fmt.Errorf("%w: short hello", ErrProtocol)
 	}
-	h.Updating = p[0] == 1
+	if p[0]&^(helloUpdating|helloWantFull) != 0 {
+		return h, fmt.Errorf("%w: unknown hello flags %#x", ErrProtocol, p[0])
+	}
+	h.Updating = p[0]&helloUpdating != 0
+	h.WantFull = p[0]&helloWantFull != 0
 	h.ImageCRC = binary.BigEndian.Uint32(p[1:5])
 	rest := p[5:]
 	v, n := binary.Uvarint(rest)
@@ -160,4 +238,18 @@ func decodeStatus(p []byte) (status, error) {
 		return status{}, fmt.Errorf("%w: short status", ErrProtocol)
 	}
 	return status{OK: p[0] == 1, ImageCRC: binary.BigEndian.Uint32(p[1:5])}, nil
+}
+
+func encodeAck(ok bool) []byte {
+	if ok {
+		return []byte{1}
+	}
+	return []byte{0}
+}
+
+func decodeAck(p []byte) (bool, error) {
+	if len(p) != 1 {
+		return false, fmt.Errorf("%w: short ack", ErrProtocol)
+	}
+	return p[0] == 1, nil
 }

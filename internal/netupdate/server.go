@@ -3,16 +3,22 @@ package netupdate
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"net"
 	"sync"
+	"time"
 
 	"ipdelta/internal/codec"
 	"ipdelta/internal/diff"
 	"ipdelta/internal/graph"
 	"ipdelta/internal/inplace"
 )
+
+// ErrBudgetExhausted reports a client that burned through its server-side
+// failure budget and is being turned away without a session.
+var ErrBudgetExhausted = errors.New("netupdate: client exceeded its failure budget")
 
 // Server distributes the newest version of one image as in-place
 // reconstructible deltas against any version in its release history.
@@ -24,10 +30,13 @@ type Server struct {
 	policy  graph.Policy
 
 	scratchBudget int64
+	msgTimeout    time.Duration
+	failBudget    int
 
 	mu           sync.Mutex
 	cache        map[uint32][]byte // encoded delta per source version CRC
 	scratchCache map[uint32][]byte // encoded scratch-format delta per CRC
+	failures     map[string]int    // consecutive failed sessions per client
 
 	// ServedBytes counts delta payload bytes sent, for transfer accounting.
 	served int64
@@ -67,6 +76,20 @@ func WithScratchBudget(n int64) ServerOption {
 	}
 }
 
+// WithMessageTimeout arms a fresh read/write deadline before every I/O
+// operation of a session, so one stalled or byzantine peer cannot pin a
+// server worker. Zero (the default) disables deadlines.
+func WithMessageTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.msgTimeout = d }
+}
+
+// WithFailureBudget rejects further sessions from a client (keyed by its
+// remote host) after n consecutive failed sessions; a successful session
+// resets the counter. Zero (the default) disables the budget.
+func WithFailureBudget(n int) ServerOption {
+	return func(s *Server) { s.failBudget = n }
+}
+
 // NewServer creates a server for the given release history (oldest first).
 // The last entry is the version devices are upgraded to.
 func NewServer(history [][]byte, opts ...ServerOption) (*Server, error) {
@@ -80,6 +103,7 @@ func NewServer(history [][]byte, opts ...ServerOption) (*Server, error) {
 		policy:       graph.LocallyMinimum{},
 		cache:        make(map[uint32][]byte),
 		scratchCache: make(map[uint32][]byte),
+		failures:     make(map[string]int),
 	}
 	for _, o := range opts {
 		o(s)
@@ -245,10 +269,74 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
-// HandleConn serves one update session on an arbitrary connection.
+// clientKey identifies a client for failure accounting: the remote host
+// without the (per-connection) port.
+func clientKey(addr net.Addr) string {
+	if addr == nil {
+		return ""
+	}
+	host, _, err := net.SplitHostPort(addr.String())
+	if err != nil {
+		return addr.String()
+	}
+	return host
+}
+
+// admit reports whether the client still has failure budget.
+func (s *Server) admit(key string) bool {
+	if s.failBudget <= 0 {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failures[key] < s.failBudget
+}
+
+// note records one session outcome against the client's failure budget.
+func (s *Server) note(key string, err error) {
+	if s.failBudget <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err == nil {
+		delete(s.failures, key)
+	} else {
+		s.failures[key]++
+	}
+}
+
+// addServed accumulates payload transfer accounting.
+func (s *Server) addServed(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.served += n
+}
+
+// HandleConn serves one update session on an arbitrary connection,
+// enforcing the per-client failure budget around it.
 func (s *Server) HandleConn(conn net.Conn) error {
-	r := bufio.NewReader(conn)
-	w := bufio.NewWriter(conn)
+	key := clientKey(conn.RemoteAddr())
+	if !s.admit(key) {
+		// Consume the client's hello first: over an unbuffered transport
+		// (net.Pipe) the client blocks writing it, and writing our rejection
+		// before reading would deadlock both sides.
+		c := withDeadlines(conn, s.msgTimeout)
+		if _, err := readMsg(bufio.NewReader(c), msgHello); err == nil {
+			_ = writeMsg(c, msgError, []byte("failure budget exhausted"))
+		}
+		return ErrBudgetExhausted
+	}
+	err := s.session(conn)
+	s.note(key, err)
+	return err
+}
+
+// session runs the update protocol once on conn.
+func (s *Server) session(conn net.Conn) error {
+	c := withDeadlines(conn, s.msgTimeout)
+	r := bufio.NewReader(c)
+	w := bufio.NewWriter(c)
 	defer w.Flush()
 
 	payload, err := readMsg(r, msgHello)
@@ -260,8 +348,27 @@ func (s *Server) HandleConn(conn net.Conn) error {
 		return err
 	}
 
+	current := s.Current()
 	currentCRC := s.crcs[len(s.crcs)-1]
-	if !h.Updating && h.ImageCRC == currentCRC && h.ImageLen == int64(len(s.Current())) {
+	if int64(len(current)) > h.Capacity {
+		_ = writeMsg(w, msgError, []byte("device flash too small for new version"))
+		_ = w.Flush()
+		return fmt.Errorf("netupdate: device capacity %d < version %d", h.Capacity, len(current))
+	}
+
+	if h.WantFull {
+		// Degradation path: ship the whole current image.
+		if err := writeMsg(w, msgFull, current); err != nil {
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		s.addServed(int64(len(current)))
+		return s.confirm(r, w, currentCRC)
+	}
+
+	if !h.Updating && h.ImageCRC == currentCRC && h.ImageLen == int64(len(current)) {
 		if err := writeMsg(w, msgUpToDate, nil); err != nil {
 			return err
 		}
@@ -280,22 +387,22 @@ func (s *Server) HandleConn(conn net.Conn) error {
 		_ = w.Flush()
 		return err
 	}
-	if int64(len(s.Current())) > h.Capacity {
-		_ = writeMsg(w, msgError, []byte("device flash too small for new version"))
-		_ = w.Flush()
-		return fmt.Errorf("netupdate: device capacity %d < version %d", h.Capacity, len(s.Current()))
-	}
 	if err := writeMsg(w, msgDelta, enc); err != nil {
 		return err
 	}
 	if err := w.Flush(); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	s.served += int64(len(enc))
-	s.mu.Unlock()
+	s.addServed(int64(len(enc)))
+	return s.confirm(r, w, currentCRC)
+}
 
-	payload, err = readMsg(r, msgStatus)
+// confirm reads the device's STATUS, answers with an ACK carrying the
+// server's verdict, and reports a CRC mismatch as an error. The explicit
+// ACK is what lets a device learn its flash was corrupted in flight and
+// fall back to a full image instead of booting a bad version.
+func (s *Server) confirm(r *bufio.Reader, w *bufio.Writer, currentCRC uint32) error {
+	payload, err := readMsg(r, msgStatus)
 	if err != nil {
 		return err
 	}
@@ -303,7 +410,14 @@ func (s *Server) HandleConn(conn net.Conn) error {
 	if err != nil {
 		return err
 	}
-	if !st.OK || st.ImageCRC != currentCRC {
+	ok := st.OK && st.ImageCRC == currentCRC
+	if err := writeMsg(w, msgAck, encodeAck(ok)); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if !ok {
 		return fmt.Errorf("netupdate: device reported failure (ok=%v crc=%08x want %08x)", st.OK, st.ImageCRC, currentCRC)
 	}
 	return nil

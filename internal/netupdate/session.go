@@ -1,0 +1,229 @@
+package netupdate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+
+	"ipdelta/internal/device"
+)
+
+// DialFunc opens a fresh connection for one session attempt. The runner
+// closes whatever it returns.
+type DialFunc func(ctx context.Context) (net.Conn, error)
+
+// RunnerConfig tunes the retrying update session runner.
+type RunnerConfig struct {
+	// MaxAttempts bounds total session attempts (default 8).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; it doubles per
+	// attempt (default 100ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff (default 5s).
+	MaxBackoff time.Duration
+	// MessageTimeout is the per-I/O deadline inside each session; zero
+	// disables deadlines.
+	MessageTimeout time.Duration
+	// FullFallbackAfter is how many consecutive failed delta sessions the
+	// runner tolerates before degrading to a full-image transfer. Session
+	//-level rejections (server errors, CRC mismatches) degrade
+	// immediately. Zero uses the default (3); negative disables the
+	// fallback entirely.
+	FullFallbackAfter int
+	// Seed feeds the backoff jitter RNG, for reproducible schedules.
+	Seed uint64
+	// Sleep overrides the inter-attempt wait, letting tests collapse the
+	// backoff schedule. Nil uses a context-aware timer.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// withDefaults fills unset fields.
+func (c RunnerConfig) withDefaults() RunnerConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 8
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 100 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	if c.FullFallbackAfter == 0 {
+		c.FullFallbackAfter = 3
+	}
+	if c.Sleep == nil {
+		c.Sleep = sleepCtx
+	}
+	return c
+}
+
+// RunReport summarizes a runner invocation: how hard the update was, not
+// just whether it landed.
+type RunReport struct {
+	// Result is the final successful session's result.
+	Result Result
+	// Attempts counts sessions started, including the successful one.
+	Attempts int
+	// FellBack is true when the runner degraded to a full-image transfer.
+	FellBack bool
+	// FailureLog holds one line per failed attempt, for chaos forensics.
+	FailureLog []string
+}
+
+// Runner drives update sessions to convergence: transient faults are
+// retried with capped exponential backoff and seeded jitter (each retry
+// resumes the device where the last attempt died), and persistent delta
+// failures degrade to a full-image transfer. A Runner may be shared by
+// concurrent Run calls.
+type Runner struct {
+	cfg RunnerConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRunner builds a Runner from cfg (zero fields take defaults).
+func NewRunner(cfg RunnerConfig) *Runner {
+	cfg = cfg.withDefaults()
+	return &Runner{cfg: cfg, rng: rand.New(rand.NewPCG(cfg.Seed, 1))}
+}
+
+// errClass buckets session errors by the right response.
+type errClass int
+
+const (
+	// classTransient: the transport or the device hiccuped; the same
+	// session, retried, can succeed (and resumes where it died).
+	classTransient errClass = iota
+	// classDegrade: the delta path itself was rejected — server verdict,
+	// resume mismatch, corrupted image. Retrying the same delta is
+	// pointless; the full-image ladder rung is next.
+	classDegrade
+	// classFatal: no retry or degradation can help (image cannot fit,
+	// context cancelled).
+	classFatal
+)
+
+// classify maps a session error to its retry class.
+func classify(err error) errClass {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return classFatal
+	case errors.Is(err, device.ErrImageTooLarge), errors.Is(err, device.ErrScratchBudget):
+		return classFatal
+	case errors.Is(err, device.ErrPowerCut), errors.Is(err, device.ErrTransientIO):
+		return classTransient
+	case errors.Is(err, ErrImageRejected),
+		errors.Is(err, device.ErrResumeMismatch),
+		errors.Is(err, device.ErrWrongVersion),
+		errors.Is(err, device.ErrNotInPlace):
+		return classDegrade
+	}
+	var se *ServerError
+	if errors.As(err, &se) {
+		return classDegrade
+	}
+	// Everything else — injected faults, timeouts, truncated or corrupt
+	// streams (protocol and codec errors), dial failures — is a transport
+	// problem: retry.
+	return classTransient
+}
+
+// Run updates dev to the server's current version, dialling a fresh
+// connection per attempt, until it converges, turns out to be up to date,
+// exhausts the attempt budget, or hits a fatal error.
+func (ru *Runner) Run(ctx context.Context, dial DialFunc, dev *device.Device) (RunReport, error) {
+	var rep RunReport
+	full := false
+	if p, ok := dev.PendingUpdate(); ok && p.Full {
+		// A previous run already degraded; resume the full install.
+		full = true
+		rep.FellBack = true
+	}
+	deltaFailures := 0
+	var lastErr error
+	for attempt := 1; attempt <= ru.cfg.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		rep.Attempts = attempt
+		res, err := ru.attempt(ctx, dial, dev, full)
+		if err == nil {
+			rep.Result = res
+			return rep, nil
+		}
+		lastErr = err
+		rep.FailureLog = append(rep.FailureLog,
+			fmt.Sprintf("attempt %d (full=%v): %v", attempt, full, err))
+		switch classify(err) {
+		case classFatal:
+			return rep, err
+		case classDegrade:
+			if !full && ru.cfg.FullFallbackAfter > 0 {
+				full = true
+				rep.FellBack = true
+			}
+		case classTransient:
+			if !full {
+				deltaFailures++
+				if ru.cfg.FullFallbackAfter > 0 && deltaFailures >= ru.cfg.FullFallbackAfter {
+					full = true
+					rep.FellBack = true
+				}
+			}
+		}
+		if attempt < ru.cfg.MaxAttempts {
+			if err := ru.cfg.Sleep(ctx, ru.backoff(attempt)); err != nil {
+				return rep, err
+			}
+		}
+	}
+	return rep, fmt.Errorf("netupdate: retry budget exhausted after %d attempts: last error: %w",
+		ru.cfg.MaxAttempts, lastErr)
+}
+
+// attempt runs one session on a fresh connection.
+func (ru *Runner) attempt(ctx context.Context, dial DialFunc, dev *device.Device, full bool) (Result, error) {
+	conn, err := dial(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	defer conn.Close()
+	return RunSession(ctx, conn, dev, SessionOptions{
+		MessageTimeout: ru.cfg.MessageTimeout,
+		RequestFull:    full,
+	})
+}
+
+// backoff returns the capped exponential delay for the given (1-based)
+// attempt, jittered to a uniform value in [d/2, d) so a fleet knocked over
+// together does not reconnect in lockstep.
+func (ru *Runner) backoff(attempt int) time.Duration {
+	d := ru.cfg.BaseBackoff << (attempt - 1)
+	if d <= 0 || d > ru.cfg.MaxBackoff {
+		d = ru.cfg.MaxBackoff
+	}
+	ru.mu.Lock()
+	jitter := ru.rng.Float64()
+	ru.mu.Unlock()
+	return d/2 + time.Duration(jitter*float64(d/2))
+}
+
+// sleepCtx waits d or until ctx is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
