@@ -6,11 +6,13 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 
 	"ipdelta/internal/corpus"
 	"ipdelta/internal/diff"
 	"ipdelta/internal/inplace"
+	"ipdelta/internal/obs"
 )
 
 // The benchmark-baseline mode (-bench-baseline) measures the conversion
@@ -30,6 +32,15 @@ type baselineResult struct {
 	MBPerSec    float64 `json:"mb_per_s,omitempty"`
 }
 
+// baselineStage summarizes one observed pipeline stage from the metrics
+// registry attached to the instrumented runs.
+type baselineStage struct {
+	Name       string  `json:"name"`
+	Count      int64   `json:"count"`
+	MeanNanos  float64 `json:"mean_nanos"`
+	TotalNanos int64   `json:"total_nanos"`
+}
+
 // baselineDoc is the emitted document.
 type baselineDoc struct {
 	Environment struct {
@@ -41,6 +52,12 @@ type baselineDoc struct {
 		Seed       int64  `json:"seed"`
 	} `json:"environment"`
 	Results []baselineResult `json:"results"`
+	// Metrics carries selected counters from an instrumented convert run
+	// (cycle-break counts per policy, converted copies/bytes), proving the
+	// observability layer sees the same structure the stats report.
+	Metrics map[string]int64 `json:"metrics,omitempty"`
+	// Stages carries per-stage timing aggregates from the same run.
+	Stages []baselineStage `json:"stages,omitempty"`
 }
 
 // measure runs fn under testing.Benchmark and records the result. bytes is
@@ -58,6 +75,23 @@ func (doc *baselineDoc) measure(name string, bytes int64, fn func(b *testing.B))
 		res.MBPerSec = float64(bytes) * float64(r.N) / r.T.Seconds() / 1e6
 	}
 	doc.Results = append(doc.Results, res)
+}
+
+// addRegistry folds the registry's counters and stage histograms into the
+// document.
+func (doc *baselineDoc) addRegistry(reg *obs.Registry) {
+	snap := reg.Snapshot()
+	if len(snap.Counters) > 0 {
+		doc.Metrics = snap.Counters
+	}
+	for name, h := range snap.Histograms {
+		st := baselineStage{Name: name, Count: h.Count, TotalNanos: h.Sum}
+		if h.Count > 0 {
+			st.MeanNanos = float64(h.Sum) / float64(h.Count)
+		}
+		doc.Stages = append(doc.Stages, st)
+	}
+	sort.Slice(doc.Stages, func(i, j int) bool { return doc.Stages[i].Name < doc.Stages[j].Name })
 }
 
 // runBaseline measures the pipeline and writes the JSON document to
@@ -98,7 +132,11 @@ func runBaseline(out io.Writer, outPath string, quick bool, seed int64) error {
 			}
 		}
 	})
-	cv := inplace.NewConverter()
+	// The reuse benchmark runs with an observer attached: stage timings and
+	// structural counters land in the emitted document, and the allocs/op
+	// column doubles as proof that observation stays allocation-free.
+	reg := obs.NewRegistry()
+	cv := inplace.NewConverter(inplace.WithObserver(reg))
 	doc.measure("convert/reuse", vbytes, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, _, err := cv.Convert(d, p.Ref); err != nil {
@@ -106,6 +144,7 @@ func runBaseline(out io.Writer, outPath string, quick bool, seed int64) error {
 			}
 		}
 	})
+	doc.addRegistry(reg)
 	doc.measure("crwi/build", vbytes, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, _, err := cv.BuildCRWI(d); err != nil {

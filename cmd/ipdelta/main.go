@@ -5,7 +5,7 @@
 // Usage:
 //
 //	ipdelta diff    -ref OLD -version NEW -out FILE [-algo linear|greedy] [-format F] [-inplace] [-policy P]
-//	ipdelta convert -ref OLD -delta IN -out FILE [-policy P] [-format F]
+//	ipdelta convert -ref OLD -delta IN -out FILE [-policy P] [-format F] [-metrics]
 //	ipdelta patch   -ref OLD -delta FILE -out NEW [-inplace]
 //	ipdelta info    -delta FILE
 //	ipdelta verify  -ref OLD -delta FILE -version NEW
@@ -28,6 +28,7 @@ import (
 	"ipdelta/internal/diff"
 	"ipdelta/internal/graph"
 	"ipdelta/internal/inplace"
+	"ipdelta/internal/obs"
 	"ipdelta/internal/stats"
 )
 
@@ -140,6 +141,7 @@ func cmdConvert(args []string) error {
 	outPath := fs.String("out", "", "output delta file")
 	policyName := fs.String("policy", "locally-minimum", "cycle-breaking policy")
 	formatName := fs.String("format", "compact", "output wire format")
+	metrics := fs.Bool("metrics", false, "print a metrics snapshot (stage timings, counters) to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -165,7 +167,13 @@ func cmdConvert(args []string) error {
 	if !format.InPlaceCapable() {
 		return fmt.Errorf("format %v cannot carry an in-place delta", format)
 	}
-	out, st, err := inplace.Convert(d, ref, inplace.WithPolicy(policy))
+	opts := []inplace.Option{inplace.WithPolicy(policy)}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+		opts = append(opts, inplace.WithObserver(reg))
+	}
+	out, st, err := inplace.Convert(d, ref, opts...)
 	if err != nil {
 		return err
 	}
@@ -176,6 +184,9 @@ func cmdConvert(args []string) error {
 	fmt.Printf("wrote %s (%s, %s): %d copies, %d adds, %d edges, %d cycles broken, %d copies converted (%s)\n",
 		*outPath, stats.Bytes(n), format, st.Copies, st.Adds, st.Edges, st.CyclesBroken,
 		st.ConvertedCopies, stats.Bytes(st.ConvertedBytes))
+	if reg != nil {
+		fmt.Fprint(os.Stderr, reg.Snapshot().Text())
+	}
 	return nil
 }
 

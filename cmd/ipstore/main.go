@@ -11,6 +11,12 @@
 //	ipstore extract -store FILE -index N -out IMAGE
 //	ipstore delta   -store FILE -from N [-to M] -out DELTA [-inplace] [-policy P]
 //	ipstore rollback -store FILE -to N -out DELTA [-policy P]
+//	ipstore serve   -store FILE [-listen ADDR] [-policy P] [-v]
+//
+// serve exposes the store over HTTP: GET /info (JSON census), GET
+// /version/{n} (raw image), GET /delta?from=N (compact in-place delta to
+// the newest version), and GET /metrics (request and codec counters,
+// Prometheus-style text or JSON with ?format=json).
 package main
 
 import (
@@ -34,7 +40,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return errors.New("usage: ipstore {init|append|info|extract|delta|rollback} [flags]")
+		return errors.New("usage: ipstore {init|append|info|extract|delta|rollback|serve} [flags]")
 	}
 	switch args[0] {
 	case "init":
@@ -49,6 +55,8 @@ func run(args []string) error {
 		return cmdDelta(args[1:])
 	case "rollback":
 		return cmdRollback(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}

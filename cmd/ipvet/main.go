@@ -4,8 +4,11 @@
 //
 // It exits 0 when every package is clean and 1 with file:line diagnostics
 // otherwise. Run it from the module root (the loader resolves import paths
-// against the enclosing go.mod). Individual findings can be suppressed
-// with a trailing or preceding comment:
+// against the enclosing go.mod). The suite covers offset arithmetic
+// (offsetsafe), buffer aliasing (aliascheck), lock discipline (locksafe),
+// dropped codec/store errors (errpropagate), and calls to the deprecated
+// pre-options convert shims (deprecatedapi). Individual findings can be
+// suppressed with a trailing or preceding comment:
 //
 //	//ipvet:ignore offsetsafe -- bounded by the header check above
 //

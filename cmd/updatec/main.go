@@ -11,7 +11,7 @@
 // Usage:
 //
 //	updatec -server 127.0.0.1:7070 -image device.img [-capacity N] [-rate BPS]
-//	        [-timeout D] [-retries N] [-fallback-after N]
+//	        [-timeout D] [-retries N] [-fallback-after N] [-metrics] [-v]
 //	        [-fault-seed N] [-fault-rate P] [-fault-corrupt P] [-fault-drop-after N]
 package main
 
@@ -20,11 +20,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 
 	"ipdelta/internal/device"
 	"ipdelta/internal/netupdate"
+	"ipdelta/internal/obs"
 )
 
 func main() {
@@ -48,6 +50,8 @@ func run(args []string) error {
 	faultRate := fs.Float64("fault-rate", 0, "injected per-operation connection-drop probability")
 	faultCorrupt := fs.Float64("fault-corrupt", 0, "injected per-read byte-corruption probability")
 	faultDropAfter := fs.Int64("fault-drop-after", 0, "kill each connection after exactly N bytes (0 = never)")
+	metrics := fs.Bool("metrics", false, "print a client metrics snapshot (attempts, retries, degradations) to stderr")
+	verbose := fs.Bool("v", false, "log each attempt (structured, stderr)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -101,15 +105,28 @@ func run(args []string) error {
 		}
 		return c, nil
 	}
+	logger := obs.NopLogger()
+	if *verbose {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
 	runner := netupdate.NewRunner(netupdate.RunnerConfig{
 		MaxAttempts:       *retries,
 		MessageTimeout:    *timeout,
 		FullFallbackAfter: *fallbackAfter,
 		Seed:              *faultSeed,
+		Observer:          reg,
+		Logger:            logger,
 	})
 	rep, err := runner.Run(context.Background(), dial, dev)
 	for _, line := range rep.FailureLog {
 		fmt.Fprintln(os.Stderr, "updatec:", line)
+	}
+	if reg != nil {
+		fmt.Fprint(os.Stderr, reg.Snapshot().Text())
 	}
 	if err != nil {
 		return err

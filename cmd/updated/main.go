@@ -3,22 +3,34 @@
 //
 // Usage:
 //
-//	updated -listen 127.0.0.1:7070 [-timeout D] [-failure-budget N] v1.img v2.img v3.img
+//	updated -listen 127.0.0.1:7070 [-timeout D] [-failure-budget N]
+//	        [-metrics-addr ADDR] [-v] v1.img v2.img v3.img
 //
 // Images are the release history, oldest first; devices running any of them
 // are upgraded to the last one. -timeout arms a per-message I/O deadline so
 // a stalled client cannot pin a server worker; -failure-budget turns away
 // clients (by remote host) after N consecutive failed sessions.
+//
+// -metrics-addr starts an HTTP listener serving the server's metrics
+// registry on /metrics (Prometheus-style text, or JSON with
+// ?format=json): session outcomes, bytes served, delta-cache size,
+// session and per-message latency histograms, plus the codec's
+// encode/decode counters. -v enables structured per-session log lines on
+// stderr.
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
+	"net/http"
 	"os"
 
+	"ipdelta/internal/codec"
 	"ipdelta/internal/netupdate"
+	"ipdelta/internal/obs"
 )
 
 func main() {
@@ -33,12 +45,14 @@ func run(args []string) error {
 	listen := fs.String("listen", "127.0.0.1:7070", "listen address")
 	timeout := fs.Duration("timeout", 0, "per-message I/O deadline inside a session (0 = none)")
 	failBudget := fs.Int("failure-budget", 0, "reject a client after N consecutive failed sessions (0 = never)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics on this HTTP address (empty = disabled)")
+	verbose := fs.Bool("v", false, "log each session (structured, stderr)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	paths := fs.Args()
 	if len(paths) == 0 {
-		return errors.New("usage: updated [-listen ADDR] OLDEST.img ... NEWEST.img")
+		return errors.New("usage: updated [-listen ADDR] [-metrics-addr ADDR] OLDEST.img ... NEWEST.img")
 	}
 	history := make([][]byte, 0, len(paths))
 	for _, p := range paths {
@@ -48,9 +62,17 @@ func run(args []string) error {
 		}
 		history = append(history, img)
 	}
+	logger := obs.NopLogger()
+	if *verbose {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	reg := obs.NewRegistry()
+	codec.SetObserver(reg)
 	srv, err := netupdate.NewServer(history,
 		netupdate.WithMessageTimeout(*timeout),
 		netupdate.WithFailureBudget(*failBudget),
+		netupdate.WithObserver(reg),
+		netupdate.WithLogger(logger),
 	)
 	if err != nil {
 		return err
@@ -58,6 +80,20 @@ func run(args []string) error {
 	// Build every per-release delta before accepting connections.
 	if err := srv.Prewarm(0); err != nil {
 		return err
+	}
+	if *metricsAddr != "" {
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return err
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg)
+		fmt.Printf("updated: metrics on http://%s/metrics\n", ml.Addr())
+		go func() {
+			if err := http.Serve(ml, mux); err != nil {
+				logger.Error("metrics listener failed", "component", "server", "err", err)
+			}
+		}()
 	}
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -50,7 +50,7 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			lm, stLM, err := ipdelta.ConvertInPlaceWithPolicy(d, pair.Ref, ipdelta.LocallyMinimum)
+			lm, stLM, err := ipdelta.ConvertInPlace(d, pair.Ref, ipdelta.WithPolicy(ipdelta.LocallyMinimum))
 			if err != nil {
 				return err
 			}
@@ -58,7 +58,7 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			ct, _, err := ipdelta.ConvertInPlaceWithPolicy(d, pair.Ref, ipdelta.ConstantTime)
+			ct, _, err := ipdelta.ConvertInPlace(d, pair.Ref, ipdelta.WithPolicy(ipdelta.ConstantTime))
 			if err != nil {
 				return err
 			}

@@ -72,7 +72,7 @@ func TestGrandIntegration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ip, stats, err := ipdelta.ConvertInPlaceScratch(direct, releases[0], 8<<10)
+	ip, stats, err := ipdelta.ConvertInPlace(direct, releases[0], ipdelta.WithScratchBudget(8<<10))
 	if err != nil {
 		t.Fatal(err)
 	}

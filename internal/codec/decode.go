@@ -435,9 +435,23 @@ func (d *Decoder) compactCommand() (delta.Command, error) {
 // Decode reads a whole delta file. The returned delta's command order is
 // the application order carried by the file.
 func Decode(r io.Reader) (*delta.Delta, Format, error) {
+	out, f, wire, err := decode(r)
+	if m := observer.Load(); m != nil {
+		if err != nil {
+			m.decodeErrors.Inc()
+		} else {
+			m.decodes.Inc()
+			m.decodeBytes.Add(wire)
+			m.decodeCommands.Add(int64(len(out.Commands)))
+		}
+	}
+	return out, f, err
+}
+
+func decode(r io.Reader) (*delta.Delta, Format, int64, error) {
 	dec, err := NewDecoder(r)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	hdr := dec.Header()
 	out := &delta.Delta{
@@ -451,17 +465,18 @@ func Decode(r io.Reader) (*delta.Delta, Format, error) {
 			break
 		}
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, dec.r.n, err
 		}
 		out.Commands = append(out.Commands, c)
 	}
-	return out, hdr.Format, nil
+	return out, hdr.Format, dec.r.n, nil
 }
 
-// crcReader tracks the CRC32 of all bytes read through the hashed helpers.
+// crcReader tracks the CRC32 and count of all bytes read through it.
 type crcReader struct {
 	r   *bufio.Reader
 	crc hash.Hash32
+	n   int64
 }
 
 func newCRCReader(r io.Reader) *crcReader {
@@ -474,6 +489,7 @@ func (c *crcReader) readByte() (byte, error) {
 		return 0, err
 	}
 	c.crc.Write([]byte{b})
+	c.n++
 	return b, nil
 }
 
@@ -482,12 +498,14 @@ func (c *crcReader) readFull(p []byte) error {
 		return err
 	}
 	c.crc.Write(p)
+	c.n += int64(len(p))
 	return nil
 }
 
 // readRaw reads without hashing; used for the trailing checksum itself.
 func (c *crcReader) readRaw(p []byte) error {
-	_, err := io.ReadFull(c.r, p)
+	n, err := io.ReadFull(c.r, p)
+	c.n += int64(n)
 	return err
 }
 

@@ -32,10 +32,17 @@ const legacyMaxAdd = 255
 // gaps); ErrNotOrdered is returned otherwise.
 func Encode(w io.Writer, d *delta.Delta, f Format) (int64, error) {
 	e := &encoder{w: newCRCWriter(w)}
-	if err := e.encode(d, f); err != nil {
-		return e.w.n, err
+	err := e.encode(d, f)
+	if m := observer.Load(); m != nil {
+		if err != nil {
+			m.encodeErrors.Inc()
+		} else {
+			m.encodes.Inc()
+			m.encodeBytes.Add(e.w.n)
+			m.encodeCommands.Add(int64(len(d.Commands)))
+		}
 	}
-	return e.w.n, nil
+	return e.w.n, err
 }
 
 // EncodedSize returns the exact encoded size of d in format f without

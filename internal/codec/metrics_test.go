@@ -1,0 +1,73 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+
+	"ipdelta/internal/delta"
+	"ipdelta/internal/obs"
+)
+
+// TestObserverCountsRoundTrip attaches a registry to the package, round
+// trips a delta, and checks the wire-accurate counters; detaching must
+// stop the counting.
+func TestObserverCountsRoundTrip(t *testing.T) {
+	d := &delta.Delta{
+		RefLen:     8,
+		VersionLen: 12,
+		Commands: []delta.Command{
+			delta.NewCopy(0, 0, 8),
+			delta.NewAdd(8, []byte("tail")),
+		},
+	}
+	reg := obs.NewRegistry()
+	SetObserver(reg)
+	defer SetObserver(nil)
+
+	var buf bytes.Buffer
+	n, err := Encode(&buf, d, FormatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Decode(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	checks := map[string]int64{
+		"ipdelta_codec_encode_total":          1,
+		"ipdelta_codec_encode_bytes_total":    n,
+		"ipdelta_codec_encode_commands_total": 2,
+		"ipdelta_codec_decode_total":          1,
+		"ipdelta_codec_decode_bytes_total":    n,
+		"ipdelta_codec_decode_commands_total": 2,
+		"ipdelta_codec_encode_errors_total":   0,
+		"ipdelta_codec_decode_errors_total":   0,
+	}
+	for name, want := range checks {
+		if got := snap.Counter(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+
+	// A truncated stream is an error, not a decode.
+	if _, _, err := Decode(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Fatal("truncated decode succeeded")
+	}
+	snap = reg.Snapshot()
+	if got := snap.Counter("ipdelta_codec_decode_errors_total"); got != 1 {
+		t.Errorf("decode_errors = %d, want 1", got)
+	}
+	if got := snap.Counter("ipdelta_codec_decode_total"); got != 1 {
+		t.Errorf("decode_total moved on a failed decode: %d", got)
+	}
+
+	// Detached: nothing moves.
+	SetObserver(nil)
+	if _, err := Encode(&buf, d, FormatCompact); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Counter("ipdelta_codec_encode_total"); got != 1 {
+		t.Errorf("encode_total = %d after detach, want 1", got)
+	}
+}

@@ -5,7 +5,34 @@ import (
 	"sync"
 
 	"ipdelta/internal/delta"
+	"ipdelta/internal/obs"
 )
+
+// diffMetrics holds the pre-resolved metric handles of an observed
+// differencer (DESIGN.md §9). Resolved once at construction; per-diff
+// updates are atomic adds and stage spans only, so an observed Differ
+// keeps its zero-allocation steady state.
+type diffMetrics struct {
+	diffs        *obs.Counter
+	refBytes     *obs.Counter
+	versionBytes *obs.Counter
+	commands     *obs.Counter
+
+	tableStage obs.Stage // match-table (fingerprint index) build
+	emitStage  obs.Stage // version scan + command emission
+}
+
+// resolveDiffMetrics binds the diff metric set in r.
+func resolveDiffMetrics(r *obs.Registry) *diffMetrics {
+	return &diffMetrics{
+		diffs:        r.Counter("ipdelta_diff_total"),
+		refBytes:     r.Counter("ipdelta_diff_ref_bytes_total"),
+		versionBytes: r.Counter("ipdelta_diff_version_bytes_total"),
+		commands:     r.Counter("ipdelta_diff_commands_total"),
+		tableStage:   r.Stage("ipdelta_diff_stage_table_nanos"),
+		emitStage:    r.Stage("ipdelta_diff_stage_emit_nanos"),
+	}
+}
 
 // Linear is the linear-time, constant-space differencer. A fixed-size table
 // maps Karp–Rabin fingerprints of reference seeds (p-byte substrings) to
@@ -24,7 +51,9 @@ import (
 type Linear struct {
 	seedLen   int
 	tableBits uint
-	pool      sync.Pool // of *linearState
+	obs       *obs.Registry
+	met       *diffMetrics // resolved from obs at construction
+	pool      sync.Pool    // of *linearState
 }
 
 // LinearOption customizes a Linear differencer.
@@ -55,11 +84,22 @@ func WithTableBits(bits uint) LinearOption {
 	}
 }
 
+// WithObserver attaches a metrics registry: every diff then records the
+// match-table-build and emit stage timings plus input/output volume
+// counters. Handles are resolved here, once, keeping the per-diff path
+// allocation-free. A nil registry means unobserved.
+func WithObserver(r *obs.Registry) LinearOption {
+	return func(l *Linear) { l.obs = r }
+}
+
 // NewLinear returns a linear differencer with the given options applied.
 func NewLinear(opts ...LinearOption) *Linear {
 	l := &Linear{seedLen: 16, tableBits: 18}
 	for _, o := range opts {
 		o(l)
+	}
+	if l.obs != nil {
+		l.met = resolveDiffMetrics(l.obs)
 	}
 	return l
 }
@@ -135,7 +175,19 @@ func (l *Linear) Diff(ref, version []byte) (*delta.Delta, error) {
 		Commands:   st.e.finish(),
 	}
 	l.pool.Put(st)
+	l.record(ref, version, len(d.Commands))
 	return d, nil
+}
+
+// record updates the volume counters after a completed diff.
+func (l *Linear) record(ref, version []byte, ncmds int) {
+	if l.met == nil {
+		return
+	}
+	l.met.diffs.Inc()
+	l.met.refBytes.Add(int64(len(ref)))
+	l.met.versionBytes.Add(int64(len(version)))
+	l.met.commands.Add(int64(ncmds))
 }
 
 // scan runs the differencing pass, emitting commands into st.e.
@@ -148,6 +200,11 @@ func (l *Linear) scan(st *linearState, ref, version []byte) {
 		// Too short to seed any match: emit the version as a single add.
 		st.e.literal(version)
 		return
+	}
+
+	var span obs.Span
+	if l.met != nil {
+		span = l.met.tableStage.Start()
 	}
 
 	// Index the reference: table[h] holds 1 + offset of the first seed
@@ -165,6 +222,11 @@ func (l *Linear) scan(st *linearState, ref, version []byte) {
 			break
 		}
 		rh.roll(ref[r], ref[r+p])
+	}
+
+	if l.met != nil {
+		span.End()
+		span = l.met.emitStage.Start()
 	}
 
 	// Scan the version.
@@ -204,6 +266,9 @@ func (l *Linear) scan(st *linearState, ref, version []byte) {
 		v++
 	}
 	e.literal(version[lit:])
+	if l.met != nil {
+		span.End()
+	}
 }
 
 // Differ is a reusable linear differencer for single-threaded steady-state
@@ -237,5 +302,6 @@ func (dr *Differ) Diff(ref, version []byte) (*delta.Delta, error) {
 		VersionLen: int64(len(version)),
 		Commands:   dr.st.e.finishReuse(),
 	}
+	dr.l.record(ref, version, len(dr.out.Commands))
 	return &dr.out, nil
 }

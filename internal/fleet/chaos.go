@@ -4,12 +4,14 @@ import (
 	"context"
 	"fmt"
 	"hash/crc32"
+	"log/slog"
 	"math/rand/v2"
 	"net"
 	"time"
 
 	"ipdelta/internal/device"
 	"ipdelta/internal/netupdate"
+	"ipdelta/internal/obs"
 )
 
 // ChaosDeviceSpec places one device in a chaos rollout.
@@ -60,6 +62,15 @@ type ChaosConfig struct {
 	// WorkBufSize is the device working buffer (default
 	// device.DefaultWorkBufSize).
 	WorkBufSize int
+	// Observer, when non-nil, receives the whole run's metrics: the shared
+	// server's session counters, every device runner's attempt/retry/
+	// degradation counters, and fleet rollup counters
+	// (ipdelta_fleet_devices_total, _converged_total, _fallbacks_total,
+	// _attempts_total).
+	Observer *obs.Registry
+	// Logger receives per-device outcome lines (and is passed to the
+	// server and runners for their session lines). Nil discards.
+	Logger *slog.Logger
 }
 
 // ChaosDeviceReport is one device's rollout outcome.
@@ -108,7 +119,9 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosOutcome, error) {
 	}
 	target := cfg.Releases[len(cfg.Releases)-1]
 	targetCRC := crc32.ChecksumIEEE(target)
-	srv, err := netupdate.NewServer(cfg.Releases)
+	srv, err := netupdate.NewServer(cfg.Releases,
+		netupdate.WithObserver(cfg.Observer),
+		netupdate.WithLogger(cfg.Logger))
 	if err != nil {
 		return nil, err
 	}
@@ -139,6 +152,7 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosOutcome, error) {
 	}
 	out.Makespan = time.Since(start)
 	out.BytesOnWire = srv.ServedBytes()
+	log := obs.OrNop(cfg.Logger)
 	for _, rep := range out.PerDevice {
 		out.TotalAttempts += rep.Attempts
 		if rep.FellBack {
@@ -147,8 +161,26 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosOutcome, error) {
 		if rep.Converged {
 			out.Converged++
 		}
+		log.Info("device rollout",
+			"component", "fleet", "device", rep.Device,
+			"outcome", deviceOutcome(rep), "attempt", rep.Attempts,
+			"fellback", rep.FellBack, "err", rep.Err)
+	}
+	if r := cfg.Observer; r != nil {
+		r.Counter("ipdelta_fleet_devices_total").Add(int64(out.Devices))
+		r.Counter("ipdelta_fleet_converged_total").Add(int64(out.Converged))
+		r.Counter("ipdelta_fleet_fallbacks_total").Add(int64(out.Fallbacks))
+		r.Counter("ipdelta_fleet_attempts_total").Add(int64(out.TotalAttempts))
 	}
 	return out, nil
+}
+
+// deviceOutcome labels one device's rollout for the structured log.
+func deviceOutcome(rep ChaosDeviceReport) string {
+	if rep.Converged {
+		return "converged"
+	}
+	return "failed"
 }
 
 // runChaosDevice rolls one device forward under its fault profile. The
@@ -207,6 +239,8 @@ func runChaosDevice(ctx context.Context, cfg ChaosConfig, srv *netupdate.Server,
 		MessageTimeout:    cfg.MessageTimeout,
 		FullFallbackAfter: cfg.FullFallbackAfter,
 		Seed:              seed,
+		Observer:          cfg.Observer,
+		Logger:            cfg.Logger,
 	})
 	res, err := runner.Run(ctx, dial, dev)
 	rep.Attempts = res.Attempts

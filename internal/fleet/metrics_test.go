@@ -1,0 +1,57 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ipdelta/internal/obs"
+)
+
+// TestChaosObserverRollups runs a small calm fleet with an observer and
+// checks the per-run rollup counters agree with the report.
+func TestChaosObserverRollups(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := ChaosConfig{
+		Releases: chaosReleases(t, 16<<10),
+		Devices: []ChaosDeviceSpec{
+			{Release: 0, CapacitySlack: 0.25},
+			{Release: 1, CapacitySlack: 0.25},
+			{Release: -1, CapacitySlack: 0.25}, // unknown build → fallback
+		},
+		Seed:              11,
+		MaxAttempts:       10,
+		FullFallbackAfter: 3,
+		MessageTimeout:    2 * time.Second,
+		BaseBackoff:       time.Millisecond,
+		Observer:          reg,
+	}
+	out, err := RunChaos(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Converged != out.Devices {
+		t.Fatalf("only %d/%d devices converged", out.Converged, out.Devices)
+	}
+
+	snap := reg.Snapshot()
+	checks := map[string]int64{
+		"ipdelta_fleet_devices_total":   int64(out.Devices),
+		"ipdelta_fleet_converged_total": int64(out.Converged),
+		"ipdelta_fleet_fallbacks_total": int64(out.Fallbacks),
+		"ipdelta_fleet_attempts_total":  int64(out.TotalAttempts),
+	}
+	for name, want := range checks {
+		if got := snap.Counter(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	// The shared server and per-device runners report into the same
+	// registry, so the component metrics must be populated too.
+	if got := snap.Counter("ipdelta_server_sessions_total"); got == 0 {
+		t.Error("fleet run recorded no server sessions")
+	}
+	if got := snap.Counter("ipdelta_client_runs_total"); got != int64(out.Devices) {
+		t.Errorf("client_runs_total = %d, want %d", got, out.Devices)
+	}
+}

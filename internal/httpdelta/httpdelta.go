@@ -14,12 +14,15 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"ipdelta/internal/codec"
 	"ipdelta/internal/diff"
+	"ipdelta/internal/obs"
 )
 
 // Protocol constants.
@@ -43,12 +46,38 @@ func etagOf(body []byte) string {
 type Resource struct {
 	algo        diff.Algorithm
 	maxVersions int
+	obsReg      *obs.Registry
+	met         *resourceMetrics
+	log         *slog.Logger
 
 	mu       sync.RWMutex
 	body     []byte
 	etag     string
 	versions map[string][]byte // recent versions by etag
 	order    []string          // eviction order, oldest first
+}
+
+// resourceMetrics holds the pre-resolved handles of an observed Resource
+// (DESIGN.md §9).
+type resourceMetrics struct {
+	requests     *obs.Counter // all GETs served
+	deltaHits    *obs.Counter // 226 IM Used responses
+	notModified  *obs.Counter // 304 responses
+	fullBodies   *obs.Counter // 200 full-body responses
+	bytesWritten *obs.Counter // response body bytes
+
+	requestStage obs.Stage // whole-request latency
+}
+
+func resolveResourceMetrics(r *obs.Registry) *resourceMetrics {
+	return &resourceMetrics{
+		requests:     r.Counter("ipdelta_http_requests_total"),
+		deltaHits:    r.Counter("ipdelta_http_delta_responses_total"),
+		notModified:  r.Counter("ipdelta_http_not_modified_total"),
+		fullBodies:   r.Counter("ipdelta_http_full_responses_total"),
+		bytesWritten: r.Counter("ipdelta_http_bytes_written_total"),
+		requestStage: r.Stage("ipdelta_http_request_nanos"),
+	}
 }
 
 // ResourceOption customizes a Resource.
@@ -70,6 +99,19 @@ func WithMaxVersions(n int) ResourceOption {
 	}
 }
 
+// WithObserver attaches a metrics registry: the resource then counts
+// requests by response class (delta, not-modified, full body), response
+// bytes, and request latency. Handles resolve once here.
+func WithObserver(reg *obs.Registry) ResourceOption {
+	return func(r *Resource) { r.obsReg = reg }
+}
+
+// WithLogger sets the structured logger for per-request lines. The
+// default discards everything.
+func WithLogger(l *slog.Logger) ResourceOption {
+	return func(r *Resource) { r.log = l }
+}
+
 // NewResource creates a resource with an initial body.
 func NewResource(body []byte, opts ...ResourceOption) *Resource {
 	r := &Resource{
@@ -80,6 +122,10 @@ func NewResource(body []byte, opts ...ResourceOption) *Resource {
 	for _, o := range opts {
 		o(r)
 	}
+	if r.obsReg != nil {
+		r.met = resolveResourceMetrics(r.obsReg)
+	}
+	r.log = obs.OrNop(r.log)
 	r.Update(body)
 	return r
 }
@@ -115,6 +161,32 @@ func (r *Resource) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	var span obs.Span
+	start := time.Now()
+	if r.met != nil {
+		r.met.requests.Inc()
+		span = r.met.requestStage.Start()
+	}
+	status, n := r.serveGET(w, req)
+	if r.met != nil {
+		span.End()
+		r.met.bytesWritten.Add(int64(n))
+		switch status {
+		case StatusIMUsed:
+			r.met.deltaHits.Inc()
+		case http.StatusNotModified:
+			r.met.notModified.Inc()
+		default:
+			r.met.fullBodies.Inc()
+		}
+	}
+	r.log.Info("request",
+		"component", "httpdelta", "remote", req.RemoteAddr, "status", status,
+		"bytes", n, "duration_ms", time.Since(start).Milliseconds())
+}
+
+// serveGET answers one GET and reports the status and body bytes written.
+func (r *Resource) serveGET(w http.ResponseWriter, req *http.Request) (status, bytesOut int) {
 	r.mu.RLock()
 	body, etag := r.body, r.etag
 	clientTag := req.Header.Get("If-None-Match")
@@ -128,7 +200,7 @@ func (r *Resource) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	w.Header().Set("ETag", etag)
 	if clientTag == etag {
 		w.WriteHeader(http.StatusNotModified)
-		return
+		return http.StatusNotModified, 0
 	}
 	if base != nil {
 		d, err := r.algo.Diff(base, body)
@@ -138,13 +210,14 @@ func (r *Resource) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 				w.Header().Set(headerIM, IMName)
 				w.Header().Set(headerBase, clientTag)
 				w.WriteHeader(StatusIMUsed)
-				_, _ = w.Write(buf.Bytes())
-				return
+				n, _ := w.Write(buf.Bytes())
+				return StatusIMUsed, n
 			}
 		}
 	}
 	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(body)
+	n, _ := w.Write(body)
+	return http.StatusOK, n
 }
 
 // Client fetches delta-encoded resources, keeping one cached copy per URL.

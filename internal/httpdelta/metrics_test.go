@@ -1,0 +1,52 @@
+package httpdelta
+
+import (
+	"bytes"
+	"testing"
+
+	"net/http/httptest"
+
+	"ipdelta/internal/obs"
+)
+
+// TestResourceMetrics fetches cold, warm (delta), and unchanged (304) and
+// checks the observed resource counted each response class.
+func TestResourceMetrics(t *testing.T) {
+	v1 := newPage(9)
+	reg := obs.NewRegistry()
+	res := NewResource(v1, WithObserver(reg))
+	srv := httptest.NewServer(res)
+	defer srv.Close()
+
+	c := NewClient(srv.Client())
+	if got, err := c.Get(srv.URL); err != nil || !bytes.Equal(got, v1) {
+		t.Fatalf("cold fetch: %v", err)
+	}
+	v2 := edit(v1, 1)
+	res.Update(v2)
+	if got, err := c.Get(srv.URL); err != nil || !bytes.Equal(got, v2) {
+		t.Fatalf("warm fetch: %v", err)
+	}
+	if got, err := c.Get(srv.URL); err != nil || !bytes.Equal(got, v2) {
+		t.Fatalf("304 fetch: %v", err)
+	}
+
+	snap := reg.Snapshot()
+	checks := map[string]int64{
+		"ipdelta_http_requests_total":        3,
+		"ipdelta_http_full_responses_total":  1,
+		"ipdelta_http_delta_responses_total": 1,
+		"ipdelta_http_not_modified_total":    1,
+	}
+	for name, want := range checks {
+		if got := snap.Counter(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := snap.Counter("ipdelta_http_bytes_written_total"); got < int64(len(v1)) {
+		t.Errorf("bytes_written = %d, want >= cold body %d", got, len(v1))
+	}
+	if h := snap.Histograms["ipdelta_http_request_nanos"]; h.Count != 3 {
+		t.Errorf("request_nanos count = %d, want 3", h.Count)
+	}
+}

@@ -38,12 +38,45 @@ type Analysis struct {
 	// it (every feedback vertex set takes at least one vertex per cyclic
 	// component).
 	MinConversionBytes int64
-	// LocallyMinimumBytes is what the locally-minimum policy would
-	// actually convert.
+	// CensusPolicy names the cycle-breaking policy the cycle census below
+	// assumes (always "locally-minimum"; constant-time depends on DFS
+	// discovery order, so its census would not be a function of the delta
+	// alone). It is the same policy name the metrics layer bakes into
+	// ipdelta_convert_cycles_broken_total{policy="..."}, so Analyze and a
+	// live registry count the same thing.
+	CensusPolicy string
+	// LocallyMinimumBytes is what the CensusPolicy would actually convert,
+	// summed over every cycle.
 	LocallyMinimumBytes int64
+	// CycleSacrifices reports, per cyclic component, what breaking its
+	// cycles under CensusPolicy sacrifices — the per-cycle totals behind
+	// MinConversionBytes and LocallyMinimumBytes.
+	CycleSacrifices []CycleSacrifice
 }
 
-// Analyze inspects d and reports its in-place structure.
+// CycleSacrifice is the conversion cost census of one cyclic strongly
+// connected component under Analysis.CensusPolicy.
+type CycleSacrifice struct {
+	// Vertices is the component's size (≥ 2).
+	Vertices int
+	// MinBytes is the smallest copy in the component — the lower bound
+	// any feedback vertex set pays here.
+	MinBytes int64
+	// SacrificedBytes is the literal bytes the census policy actually
+	// converts to adds in this component (0 when a permutation already
+	// untangles it, which cannot happen for a true cyclic component).
+	SacrificedBytes int64
+	// SacrificedCopies counts the copies the census policy deletes in
+	// this component.
+	SacrificedCopies int
+}
+
+// Analyze inspects d and reports its in-place structure. The cycle
+// census (CyclesBroken projections, LocallyMinimumBytes, and the
+// per-component CycleSacrifices) assumes the locally-minimum policy — the
+// paper's recommended default and this module's — which Analysis records
+// in CensusPolicy; a conversion run under a different policy or strategy
+// may sacrifice different copies.
 func Analyze(d *delta.Delta) (*Analysis, error) {
 	if err := d.Validate(); err != nil {
 		return nil, fmt.Errorf("analyze: %w", err)
@@ -66,11 +99,16 @@ func Analyze(d *delta.Delta) (*Analysis, error) {
 	}
 
 	a := &Analysis{
-		Copies:      len(copies),
-		Adds:        adds,
-		Edges:       g.NumEdges(),
-		AlreadySafe: d.CheckInPlace() == nil,
+		Copies:       len(copies),
+		Adds:         adds,
+		Edges:        g.NumEdges(),
+		AlreadySafe:  d.CheckInPlace() == nil,
+		CensusPolicy: graph.LocallyMinimum{}.Name(),
 	}
+	// compOf maps each vertex entangled in a cyclic component to that
+	// component's index in CycleSacrifices, so the policy's removals below
+	// can be attributed per cycle.
+	compOf := make(map[int]int)
 	for _, comp := range graph.StronglyConnectedComponents(g) {
 		if len(comp) < 2 {
 			continue
@@ -81,17 +119,26 @@ func Analyze(d *delta.Delta) (*Analysis, error) {
 			a.LargestComponent = len(comp)
 		}
 		minLen := copies[comp[0]].Length
-		for _, v := range comp[1:] {
+		for _, v := range comp {
 			if copies[v].Length < minLen {
 				minLen = copies[v].Length
 			}
+			compOf[v] = len(a.CycleSacrifices)
 		}
 		a.MinConversionBytes += minLen
+		a.CycleSacrifices = append(a.CycleSacrifices, CycleSacrifice{
+			Vertices: len(comp),
+			MinBytes: minLen,
+		})
 	}
 	a.ReorderSufficient = a.CyclicComponents == 0
 	res := graph.TopoSort(g, cost, graph.LocallyMinimum{})
 	for _, v := range res.Removed {
 		a.LocallyMinimumBytes += copies[v].Length
+		if ci, ok := compOf[v]; ok {
+			a.CycleSacrifices[ci].SacrificedBytes += copies[v].Length
+			a.CycleSacrifices[ci].SacrificedCopies++
+		}
 	}
 	return a, nil
 }

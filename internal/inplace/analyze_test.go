@@ -112,6 +112,73 @@ func TestAnalyzeAdversarialTree(t *testing.T) {
 	}
 }
 
+// TestAnalyzeCycleSacrifices checks the per-cycle census: one entry per
+// cyclic component, the named policy, and totals that tie out to the
+// aggregate fields.
+func TestAnalyzeCycleSacrifices(t *testing.T) {
+	// Two independent swaps of different sizes: two 2-vertex components.
+	d := &delta.Delta{
+		RefLen:     24,
+		VersionLen: 24,
+		Commands: []delta.Command{
+			delta.NewCopy(4, 0, 4),
+			delta.NewCopy(0, 4, 4),
+			delta.NewCopy(16, 8, 8),
+			delta.NewCopy(8, 16, 8),
+		},
+	}
+	a, err := Analyze(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CensusPolicy != "locally-minimum" {
+		t.Fatalf("CensusPolicy = %q, want locally-minimum", a.CensusPolicy)
+	}
+	if len(a.CycleSacrifices) != a.CyclicComponents || a.CyclicComponents != 2 {
+		t.Fatalf("census has %d entries for %d components", len(a.CycleSacrifices), a.CyclicComponents)
+	}
+	var minSum, sacBytes int64
+	var sacCopies int
+	for i, cs := range a.CycleSacrifices {
+		if cs.Vertices != 2 {
+			t.Errorf("component %d: Vertices = %d, want 2", i, cs.Vertices)
+		}
+		if cs.SacrificedCopies != 1 || cs.SacrificedBytes != cs.MinBytes {
+			t.Errorf("component %d: a 2-cycle must sacrifice exactly its smallest copy: %+v", i, cs)
+		}
+		minSum += cs.MinBytes
+		sacBytes += cs.SacrificedBytes
+		sacCopies += cs.SacrificedCopies
+	}
+	if minSum != a.MinConversionBytes {
+		t.Errorf("sum of MinBytes = %d, MinConversionBytes = %d", minSum, a.MinConversionBytes)
+	}
+	if sacBytes != a.LocallyMinimumBytes {
+		t.Errorf("sum of SacrificedBytes = %d, LocallyMinimumBytes = %d", sacBytes, a.LocallyMinimumBytes)
+	}
+	// 4-byte and 8-byte swaps: the census must keep them distinguishable.
+	if minSum != 4+8 {
+		t.Errorf("per-cycle minimums sum to %d, want 12", minSum)
+	}
+
+	// The census ties out on an entangled tree too: one component holding
+	// every vertex, sacrificing every leaf.
+	tree := AdversarialDelta(3, 16)
+	ta, err := Analyze(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ta.CycleSacrifices) != 1 {
+		t.Fatalf("tree census has %d entries, want 1", len(ta.CycleSacrifices))
+	}
+	if got := ta.CycleSacrifices[0].SacrificedBytes; got != ta.LocallyMinimumBytes {
+		t.Fatalf("tree SacrificedBytes = %d, LocallyMinimumBytes = %d", got, ta.LocallyMinimumBytes)
+	}
+	if got := ta.CycleSacrifices[0].SacrificedCopies; got != 1<<3 {
+		t.Fatalf("tree SacrificedCopies = %d, want %d leaves", got, 1<<3)
+	}
+}
+
 func TestAnalyzeRejectsInvalid(t *testing.T) {
 	bad := &delta.Delta{RefLen: 4, VersionLen: 4,
 		Commands: []delta.Command{delta.NewCopy(0, 2, 4)}}

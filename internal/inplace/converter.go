@@ -8,7 +8,52 @@ import (
 	"ipdelta/internal/codec"
 	"ipdelta/internal/delta"
 	"ipdelta/internal/graph"
+	"ipdelta/internal/obs"
 )
+
+// converterMetrics holds the pre-resolved metric handles of an observed
+// Converter. Resolution happens once, in init, so the convert hot path
+// performs no registry lookups and no allocations — just atomic adds and
+// two time.Now calls per stage.
+type converterMetrics struct {
+	conversions   *obs.Counter
+	errors        *obs.Counter
+	edges         *obs.Counter
+	cyclesBroken  *obs.Counter // name carries the policy label
+	cycleVertices *obs.Counter
+	converted     *obs.Counter
+	convertedB    *obs.Counter
+	stashed       *obs.Counter
+	scratchB      *obs.Counter
+
+	partitionStage obs.Stage
+	crwiStage      obs.Stage
+	sortStage      obs.Stage // toposort (DFS) or FVS+toposort (SCC greedy)
+	emitStage      obs.Stage
+}
+
+// resolveConverterMetrics binds the convert metric set (DESIGN.md §9) in
+// r. The cycle counters carry the policy as a baked-in label, so the
+// operator can compare policies without per-event formatting.
+func resolveConverterMetrics(r *obs.Registry, policy string) *converterMetrics {
+	label := "{policy=\"" + policy + "\"}"
+	return &converterMetrics{
+		conversions:   r.Counter("ipdelta_convert_total"),
+		errors:        r.Counter("ipdelta_convert_errors_total"),
+		edges:         r.Counter("ipdelta_convert_edges_total"),
+		cyclesBroken:  r.Counter("ipdelta_convert_cycles_broken_total" + label),
+		cycleVertices: r.Counter("ipdelta_convert_cycle_vertices_total" + label),
+		converted:     r.Counter("ipdelta_convert_converted_copies_total"),
+		convertedB:    r.Counter("ipdelta_convert_converted_bytes_total"),
+		stashed:       r.Counter("ipdelta_convert_stashed_copies_total"),
+		scratchB:      r.Counter("ipdelta_convert_scratch_bytes_total"),
+
+		partitionStage: r.Stage("ipdelta_convert_stage_partition_nanos"),
+		crwiStage:      r.Stage("ipdelta_convert_stage_crwi_nanos"),
+		sortStage:      r.Stage("ipdelta_convert_stage_toposort_nanos"),
+		emitStage:      r.Stage("ipdelta_convert_stage_emit_nanos"),
+	}
+}
 
 // Converter performs in-place conversions over one reusable set of working
 // memory: the copy/add partition, the CRWI digraph in CSR form, the
@@ -39,6 +84,7 @@ type Converter struct {
 
 	out   delta.Delta
 	stats Stats
+	met   *converterMetrics // nil when no observer is attached
 }
 
 // NewConverter returns a Converter with the given options applied. The
@@ -58,6 +104,13 @@ func (cv *Converter) init() {
 	}
 	if cv.o.strategy == 0 {
 		cv.o.strategy = StrategyDFS
+	}
+	if cv.met == nil && cv.o.obs != nil {
+		name := cv.o.policy.Name()
+		if cv.o.strategy == StrategySCCGreedy {
+			name = "scc-greedy"
+		}
+		cv.met = resolveConverterMetrics(cv.o.obs, name)
 	}
 	if cv.costFn == nil {
 		// The cost of deleting a vertex is the compression lost by
@@ -126,13 +179,23 @@ func commandsByWriteOffset(a, b delta.Command) int { return cmp.Compare(a.To, b.
 func (cv *Converter) convert(d *delta.Delta, ref []byte, detach bool) (*delta.Delta, *Stats, error) {
 	cv.init()
 	if err := cv.validator.Validate(d); err != nil {
+		if cv.met != nil {
+			cv.met.errors.Inc()
+		}
 		return nil, nil, fmt.Errorf("convert: %w", err)
 	}
 	if int64(len(ref)) != d.RefLen {
+		if cv.met != nil {
+			cv.met.errors.Inc()
+		}
 		return nil, nil, fmt.Errorf("convert: reference length %d, delta expects %d", len(ref), d.RefLen)
 	}
 
 	// Step 1: partition into copies and adds.
+	var span obs.Span
+	if cv.met != nil {
+		span = cv.met.partitionStage.Start()
+	}
 	cv.partition(d)
 	policyName := cv.o.policy.Name()
 	if cv.o.strategy == StrategySCCGreedy {
@@ -146,10 +209,18 @@ func (cv *Converter) convert(d *delta.Delta, ref []byte, detach bool) (*delta.De
 
 	// Step 2: sort copies by increasing write offset.
 	slices.SortFunc(cv.copies, commandsByWriteOffset)
+	if cv.met != nil {
+		span.End()
+		span = cv.met.crwiStage.Start()
+	}
 
 	// Step 3: build the CRWI digraph (sweep-line merge, CSR form).
 	g := cv.crwi.build(cv.copies)
 	cv.stats.Edges = g.NumEdges()
+	if cv.met != nil {
+		span.End()
+		span = cv.met.sortStage.Start()
+	}
 
 	// Step 4: topological sort with cycle breaking.
 	var order, removed []int
@@ -170,6 +241,9 @@ func (cv *Converter) convert(d *delta.Delta, ref []byte, detach bool) (*delta.De
 		order, ok = graph.TopoSortExcluding(g, cv.mask)
 		if !ok {
 			// The greedy set is acyclic by construction; this is a bug.
+			if cv.met != nil {
+				cv.met.errors.Inc()
+			}
 			return nil, nil, fmt.Errorf("convert: SCC strategy left a cycle")
 		}
 		cv.stats.CyclesBroken = len(removed)
@@ -179,6 +253,10 @@ func (cv *Converter) convert(d *delta.Delta, ref []byte, detach bool) (*delta.De
 		cv.stats.CyclesBroken = res.CyclesBroken
 		cv.stats.CycleVertices = res.CycleVertices
 		cv.stats.RemovedCost = res.RemovedCost
+	}
+	if cv.met != nil {
+		span.End()
+		span = cv.met.emitStage.Start()
 	}
 
 	// Step 5: emit — stashes, surviving copies in topological order,
@@ -248,6 +326,18 @@ func (cv *Converter) convert(d *delta.Delta, ref []byte, detach bool) (*delta.De
 	slices.SortFunc(cv.adds, commandsByWriteOffset)
 	cmds = append(cmds, cv.adds...)
 
+	if cv.met != nil {
+		span.End()
+		m := cv.met
+		m.conversions.Inc()
+		m.edges.Add(int64(cv.stats.Edges))
+		m.cyclesBroken.Add(int64(cv.stats.CyclesBroken))
+		m.cycleVertices.Add(int64(cv.stats.CycleVertices))
+		m.converted.Add(int64(cv.stats.ConvertedCopies))
+		m.convertedB.Add(cv.stats.ConvertedBytes)
+		m.stashed.Add(int64(cv.stats.StashedCopies))
+		m.scratchB.Add(cv.stats.ScratchUsed)
+	}
 	if detach {
 		out := &delta.Delta{RefLen: d.RefLen, VersionLen: d.VersionLen, Commands: cmds}
 		st := cv.stats

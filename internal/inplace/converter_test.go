@@ -9,6 +9,7 @@ import (
 
 	"ipdelta/internal/delta"
 	"ipdelta/internal/graph"
+	"ipdelta/internal/obs"
 )
 
 // randomDelta builds a valid delta over a reference of the given length:
@@ -254,6 +255,35 @@ func TestConverterConvertAllocs(t *testing.T) {
 	})
 	if allocs > 2 {
 		t.Fatalf("steady-state (*Converter).Convert allocates %.1f times per call, want <= 2", allocs)
+	}
+}
+
+// TestConverterConvertAllocsWithObserver holds an observed converter to
+// the same gate as an unobserved one: metric handles are pre-resolved and
+// spans are value types, so a registered registry must add zero
+// allocations to the steady-state convert path.
+func TestConverterConvertAllocsWithObserver(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	refLen := int64(4096)
+	d := randomDelta(rng, refLen)
+	ref := make([]byte, refLen)
+	rng.Read(ref)
+
+	reg := obs.NewRegistry()
+	cv := NewConverter(WithObserver(reg))
+	if _, _, err := cv.Convert(d, ref); err != nil { // warm the scratch
+		t.Fatalf("warm-up convert: %v", err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, _, err := cv.Convert(d, ref); err != nil {
+			t.Fatalf("convert: %v", err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("observed (*Converter).Convert allocates %.1f times per call, want <= 2", allocs)
+	}
+	if reg.Snapshot().Counter("ipdelta_convert_total") == 0 {
+		t.Fatal("observer recorded nothing; the gate proved the wrong thing")
 	}
 }
 

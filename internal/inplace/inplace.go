@@ -24,6 +24,7 @@ import (
 	"ipdelta/internal/codec"
 	"ipdelta/internal/delta"
 	"ipdelta/internal/graph"
+	"ipdelta/internal/obs"
 )
 
 // Stats describes one conversion, exposing the quantities the paper's
@@ -77,6 +78,7 @@ type Options struct {
 	policy   graph.Policy
 	strategy Strategy
 	scratch  int64
+	obs      *obs.Registry
 }
 
 // Option customizes Convert.
@@ -108,6 +110,17 @@ func WithScratchBudget(n int64) Option {
 		}
 		o.scratch = n
 	}
+}
+
+// WithObserver attaches a metrics registry: every conversion then
+// records per-stage timings (partition+sort, CRWI build, topological
+// sort / SCC, emit) and structural counters (edges, cycles broken per
+// policy, converted copies and bytes) into it. Handles are resolved once
+// per Converter, so an attached observer adds no allocations to the
+// steady-state convert path. A nil registry is accepted and means
+// unobserved.
+func WithObserver(r *obs.Registry) Option {
+	return func(o *Options) { o.obs = r }
 }
 
 // Convert rewrites d into an in-place reconstructible delta. The reference

@@ -1,0 +1,81 @@
+// Package deprecatedapi flags calls to the legacy convert entry points
+// that predate the options-based API. ConvertInPlaceWithPolicy and
+// ConvertInPlaceScratch survive only as compatibility shims over
+// ConvertInPlace(d, ref, opts...); new code that reaches for them forks
+// the call surface the observability layer instruments, so the analyzer
+// steers every caller to the one maintained path.
+//
+// Flagged:
+//
+//	ipdelta.ConvertInPlaceWithPolicy(d, ref, p)   // use WithPolicy(p)
+//	ipdelta.ConvertInPlaceScratch(d, ref, n)      // use WithScratchBudget(n)
+//
+// Only package-level functions defined in the ipdelta root package are
+// matched, so an unrelated method or helper that happens to share a name
+// is left alone. The shims' own declarations are not calls and are never
+// flagged; a caller that must stay on the legacy spelling (for example a
+// pinned compatibility test) can carry an //ipvet:ignore deprecatedapi
+// suppression.
+package deprecatedapi
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"ipdelta/internal/lint/analysis"
+)
+
+// TargetPattern selects the package whose deprecated entry points are
+// checked: the module root.
+var TargetPattern = regexp.MustCompile(`(^|/)ipdelta$`)
+
+// replacements maps each deprecated function to the option-based call
+// that supersedes it.
+var replacements = map[string]string{
+	"ConvertInPlaceWithPolicy": "ConvertInPlace with WithPolicy(p)",
+	"ConvertInPlaceScratch":    "ConvertInPlace with WithScratchBudget(n)",
+}
+
+// Analyzer is the deprecatedapi analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "deprecatedapi",
+	Doc: "flags calls to the deprecated ConvertInPlaceWithPolicy and " +
+		"ConvertInPlaceScratch shims; use ConvertInPlace options instead",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var id *ast.Ident
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			id = fun
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		default:
+			return true
+		}
+		repl, ok := replacements[id.Name]
+		if !ok {
+			return true
+		}
+		fn, ok := pass.ObjectOf(id).(*types.Func)
+		if !ok || fn.Pkg() == nil || !TargetPattern.MatchString(fn.Pkg().Path()) {
+			return true
+		}
+		// Methods on some local type that reuse the name are not the
+		// deprecated package-level shims.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return true
+		}
+		pass.Reportf(call.Pos(), "%s.%s is deprecated; use %s",
+			fn.Pkg().Name(), fn.Name(), repl)
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,12 @@
+package deprecatedapi_test
+
+import (
+	"testing"
+
+	"ipdelta/internal/lint/analysistest"
+	"ipdelta/internal/lint/deprecatedapi"
+)
+
+func TestDeprecatedAPI(t *testing.T) {
+	analysistest.Run(t, deprecatedapi.Analyzer, "ipdelta")
+}

@@ -1,0 +1,57 @@
+// Test package for the deprecatedapi analyzer. Named ipdelta so its own
+// stub declarations resolve to the target package path, the way the real
+// module root's do.
+package ipdelta
+
+// Stubs mirroring the real surface: the options-based entry point and the
+// two deprecated shims over it.
+
+type Delta struct{}
+
+type Policy int
+
+type Option func()
+
+func WithPolicy(p Policy) Option { return func() {} }
+
+func WithScratchBudget(n int64) Option { return func() {} }
+
+func ConvertInPlace(d *Delta, ref []byte, opts ...Option) (*Delta, error) {
+	return d, nil
+}
+
+// The shim bodies call the options API, so the declarations themselves
+// produce no diagnostics.
+func ConvertInPlaceWithPolicy(d *Delta, ref []byte, p Policy) (*Delta, error) {
+	return ConvertInPlace(d, ref, WithPolicy(p))
+}
+
+func ConvertInPlaceScratch(d *Delta, ref []byte, budget int64) (*Delta, error) {
+	return ConvertInPlace(d, ref, WithScratchBudget(budget))
+}
+
+func CallsLegacyPolicy(d *Delta, ref []byte) (*Delta, error) {
+	return ConvertInPlaceWithPolicy(d, ref, 0) // want `ConvertInPlaceWithPolicy is deprecated; use ConvertInPlace with WithPolicy`
+}
+
+func CallsLegacyScratch(d *Delta, ref []byte) (*Delta, error) {
+	return ConvertInPlaceScratch(d, ref, 4096) // want `ConvertInPlaceScratch is deprecated; use ConvertInPlace with WithScratchBudget`
+}
+
+func CallsOptionsAPI(d *Delta, ref []byte) (*Delta, error) {
+	return ConvertInPlace(d, ref, WithPolicy(0), WithScratchBudget(4096))
+}
+
+func Suppressed(d *Delta, ref []byte) (*Delta, error) {
+	return ConvertInPlaceWithPolicy(d, ref, 0) //ipvet:ignore deprecatedapi -- pinned legacy-compat call
+}
+
+// A method that reuses a deprecated name is not the package-level shim.
+type shim struct{}
+
+func (shim) ConvertInPlaceScratch(n int64) int64 { return n }
+
+func MethodNameCollision() int64 {
+	var s shim
+	return s.ConvertInPlaceScratch(8)
+}

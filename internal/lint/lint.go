@@ -11,6 +11,7 @@ import (
 
 	"ipdelta/internal/lint/aliascheck"
 	"ipdelta/internal/lint/analysis"
+	"ipdelta/internal/lint/deprecatedapi"
 	"ipdelta/internal/lint/errpropagate"
 	"ipdelta/internal/lint/loader"
 	"ipdelta/internal/lint/locksafe"
@@ -24,6 +25,7 @@ func All() []*analysis.Analyzer {
 		aliascheck.Analyzer,
 		locksafe.Analyzer,
 		errpropagate.Analyzer,
+		deprecatedapi.Analyzer,
 	}
 }
 

@@ -1,0 +1,69 @@
+package netupdate
+
+import (
+	"ipdelta/internal/obs"
+)
+
+// serverMetrics holds the pre-resolved handles of an observed Server
+// (DESIGN.md §9). Resolved once in NewServer so the per-session path does
+// no registry lookups.
+type serverMetrics struct {
+	sessions        *obs.Counter // sessions admitted (excludes budget rejects)
+	sessionFailures *obs.Counter
+	upToDate        *obs.Counter
+	deltaSessions   *obs.Counter
+	fullSessions    *obs.Counter
+	unknownVersion  *obs.Counter
+	budgetRejects   *obs.Counter
+	bytesServed     *obs.Counter
+	cachedDeltas    *obs.Gauge
+
+	sessionStage  obs.Stage // whole-session wall time
+	msgReadStage  obs.Stage // one framed protocol read
+	msgWriteStage obs.Stage // one framed protocol write (incl. flush)
+}
+
+func resolveServerMetrics(r *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		sessions:        r.Counter("ipdelta_server_sessions_total"),
+		sessionFailures: r.Counter("ipdelta_server_session_failures_total"),
+		upToDate:        r.Counter("ipdelta_server_up_to_date_total"),
+		deltaSessions:   r.Counter("ipdelta_server_delta_sessions_total"),
+		fullSessions:    r.Counter("ipdelta_server_full_sessions_total"),
+		unknownVersion:  r.Counter("ipdelta_server_unknown_version_total"),
+		budgetRejects:   r.Counter("ipdelta_server_budget_rejects_total"),
+		bytesServed:     r.Counter("ipdelta_server_bytes_served_total"),
+		cachedDeltas:    r.Gauge("ipdelta_server_cached_deltas"),
+		sessionStage:    r.Stage("ipdelta_server_session_nanos"),
+		msgReadStage:    r.Stage("ipdelta_server_msg_read_nanos"),
+		msgWriteStage:   r.Stage("ipdelta_server_msg_write_nanos"),
+	}
+}
+
+// clientMetrics holds the pre-resolved handles of an observed Runner.
+type clientMetrics struct {
+	runs          *obs.Counter
+	runFailures   *obs.Counter
+	attempts      *obs.Counter
+	retries       *obs.Counter
+	degradations  *obs.Counter // delta path abandoned for the full-image rung
+	upToDate      *obs.Counter
+	fullTransfers *obs.Counter
+	bytesReceived *obs.Counter
+
+	attemptStage obs.Stage // one session attempt, dial included
+}
+
+func resolveClientMetrics(r *obs.Registry) *clientMetrics {
+	return &clientMetrics{
+		runs:          r.Counter("ipdelta_client_runs_total"),
+		runFailures:   r.Counter("ipdelta_client_run_failures_total"),
+		attempts:      r.Counter("ipdelta_client_attempts_total"),
+		retries:       r.Counter("ipdelta_client_retries_total"),
+		degradations:  r.Counter("ipdelta_client_degradations_total"),
+		upToDate:      r.Counter("ipdelta_client_up_to_date_total"),
+		fullTransfers: r.Counter("ipdelta_client_full_transfers_total"),
+		bytesReceived: r.Counter("ipdelta_client_bytes_received_total"),
+		attemptStage:  r.Stage("ipdelta_client_attempt_nanos"),
+	}
+}

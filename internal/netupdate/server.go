@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"ipdelta/internal/diff"
 	"ipdelta/internal/graph"
 	"ipdelta/internal/inplace"
+	"ipdelta/internal/obs"
 )
 
 // ErrBudgetExhausted reports a client that burned through its server-side
@@ -32,6 +34,10 @@ type Server struct {
 	scratchBudget int64
 	msgTimeout    time.Duration
 	failBudget    int
+
+	obsReg *obs.Registry
+	met    *serverMetrics
+	log    *slog.Logger
 
 	mu           sync.Mutex
 	cache        map[uint32][]byte // encoded delta per source version CRC
@@ -90,6 +96,21 @@ func WithFailureBudget(n int) ServerOption {
 	return func(s *Server) { s.failBudget = n }
 }
 
+// WithObserver attaches a metrics registry: the server then records
+// session outcomes (successes, failures, up-to-date, delta vs full-image,
+// unknown-version and budget rejections), bytes served, the delta-cache
+// size, and latency histograms for whole sessions and individual protocol
+// messages. Handles resolve once here; the session path only bumps atomics.
+func WithObserver(r *obs.Registry) ServerOption {
+	return func(s *Server) { s.obsReg = r }
+}
+
+// WithLogger sets the structured logger for per-session outcome lines.
+// The default discards everything.
+func WithLogger(l *slog.Logger) ServerOption {
+	return func(s *Server) { s.log = l }
+}
+
 // NewServer creates a server for the given release history (oldest first).
 // The last entry is the version devices are upgraded to.
 func NewServer(history [][]byte, opts ...ServerOption) (*Server, error) {
@@ -108,6 +129,10 @@ func NewServer(history [][]byte, opts ...ServerOption) (*Server, error) {
 	for _, o := range opts {
 		o(s)
 	}
+	if s.obsReg != nil {
+		s.met = resolveServerMetrics(s.obsReg)
+	}
+	s.log = obs.OrNop(s.log)
 	if !s.format.InPlaceCapable() {
 		return nil, fmt.Errorf("netupdate: format %v cannot carry in-place deltas", s.format)
 	}
@@ -174,6 +199,7 @@ func (s *Server) deltaFor(idx int, deviceCapacity int64) ([]byte, error) {
 				return nil, err
 			}
 			s.scratchCache[crc] = enc
+			s.noteCacheSize()
 		}
 		// Peek the scratch requirement from the encoded header.
 		dec, err := codec.NewDecoder(bytes.NewReader(enc))
@@ -197,7 +223,15 @@ func (s *Server) deltaFor(idx int, deviceCapacity int64) ([]byte, error) {
 		return nil, err
 	}
 	s.cache[crc] = enc
+	s.noteCacheSize()
 	return enc, nil
+}
+
+// noteCacheSize refreshes the cached-deltas gauge; callers hold s.mu.
+func (s *Server) noteCacheSize() {
+	if s.met != nil {
+		s.met.cachedDeltas.Set(int64(len(s.cache) + len(s.scratchCache)))
+	}
 }
 
 // Prewarm builds every per-release delta ahead of time with a bounded
@@ -244,6 +278,7 @@ func (s *Server) Prewarm(workers int) error {
 		} else {
 			s.cache[crc] = buf.Bytes()
 		}
+		s.noteCacheSize()
 		s.mu.Unlock()
 	}
 	return firstErr
@@ -309,8 +344,11 @@ func (s *Server) note(key string, err error) {
 // addServed accumulates payload transfer accounting.
 func (s *Server) addServed(n int64) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.served += n
+	s.mu.Unlock()
+	if s.met != nil {
+		s.met.bytesServed.Add(n)
+	}
 }
 
 // HandleConn serves one update session on an arbitrary connection,
@@ -318,6 +356,11 @@ func (s *Server) addServed(n int64) {
 func (s *Server) HandleConn(conn net.Conn) error {
 	key := clientKey(conn.RemoteAddr())
 	if !s.admit(key) {
+		if s.met != nil {
+			s.met.budgetRejects.Inc()
+		}
+		s.log.Warn("session rejected",
+			"component", "server", "remote", key, "outcome", "budget-reject")
 		// Consume the client's hello first: over an unbuffered transport
 		// (net.Pipe) the client blocks writing it, and writing our rejection
 		// before reading would deadlock both sides.
@@ -327,8 +370,58 @@ func (s *Server) HandleConn(conn net.Conn) error {
 		}
 		return ErrBudgetExhausted
 	}
+	var span obs.Span
+	if s.met != nil {
+		s.met.sessions.Inc()
+		span = s.met.sessionStage.Start()
+	}
+	start := time.Now()
 	err := s.session(conn)
+	if s.met != nil {
+		span.End()
+		if err != nil {
+			s.met.sessionFailures.Inc()
+		}
+	}
+	if err != nil {
+		s.log.Warn("session failed",
+			"component", "server", "remote", key, "outcome", "error",
+			"duration_ms", time.Since(start).Milliseconds(), "err", err)
+	} else {
+		s.log.Info("session done",
+			"component", "server", "remote", key, "outcome", "ok",
+			"duration_ms", time.Since(start).Milliseconds())
+	}
 	s.note(key, err)
+	return err
+}
+
+// readTimed and writeTimed are the protocol helpers under the server's
+// per-message latency histograms; writeTimed also flushes, so the timing
+// covers the bytes actually reaching the transport.
+func (s *Server) readTimed(r *bufio.Reader, want byte) ([]byte, error) {
+	if s.met == nil {
+		return readMsg(r, want)
+	}
+	sp := s.met.msgReadStage.Start()
+	payload, err := readMsg(r, want)
+	sp.End()
+	return payload, err
+}
+
+func (s *Server) writeTimed(w *bufio.Writer, typ byte, payload []byte) error {
+	if s.met == nil {
+		if err := writeMsg(w, typ, payload); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+	sp := s.met.msgWriteStage.Start()
+	err := writeMsg(w, typ, payload)
+	if err == nil {
+		err = w.Flush()
+	}
+	sp.End()
 	return err
 }
 
@@ -339,7 +432,7 @@ func (s *Server) session(conn net.Conn) error {
 	w := bufio.NewWriter(c)
 	defer w.Flush()
 
-	payload, err := readMsg(r, msgHello)
+	payload, err := s.readTimed(r, msgHello)
 	if err != nil {
 		return err
 	}
@@ -351,47 +444,47 @@ func (s *Server) session(conn net.Conn) error {
 	current := s.Current()
 	currentCRC := s.crcs[len(s.crcs)-1]
 	if int64(len(current)) > h.Capacity {
-		_ = writeMsg(w, msgError, []byte("device flash too small for new version"))
-		_ = w.Flush()
+		_ = s.writeTimed(w, msgError, []byte("device flash too small for new version"))
 		return fmt.Errorf("netupdate: device capacity %d < version %d", h.Capacity, len(current))
 	}
 
 	if h.WantFull {
 		// Degradation path: ship the whole current image.
-		if err := writeMsg(w, msgFull, current); err != nil {
+		if err := s.writeTimed(w, msgFull, current); err != nil {
 			return err
 		}
-		if err := w.Flush(); err != nil {
-			return err
+		if s.met != nil {
+			s.met.fullSessions.Inc()
 		}
 		s.addServed(int64(len(current)))
 		return s.confirm(r, w, currentCRC)
 	}
 
 	if !h.Updating && h.ImageCRC == currentCRC && h.ImageLen == int64(len(current)) {
-		if err := writeMsg(w, msgUpToDate, nil); err != nil {
-			return err
+		if s.met != nil {
+			s.met.upToDate.Inc()
 		}
-		return w.Flush()
+		return s.writeTimed(w, msgUpToDate, nil)
 	}
 
 	idx, ok := s.findVersion(h.ImageCRC, h.ImageLen)
 	if !ok {
-		_ = writeMsg(w, msgError, []byte(ErrUnknownVersion.Error()))
-		_ = w.Flush()
+		if s.met != nil {
+			s.met.unknownVersion.Inc()
+		}
+		_ = s.writeTimed(w, msgError, []byte(ErrUnknownVersion.Error()))
 		return ErrUnknownVersion
 	}
 	enc, err := s.deltaFor(idx, h.Capacity)
 	if err != nil {
-		_ = writeMsg(w, msgError, []byte("internal error"))
-		_ = w.Flush()
+		_ = s.writeTimed(w, msgError, []byte("internal error"))
 		return err
 	}
-	if err := writeMsg(w, msgDelta, enc); err != nil {
+	if err := s.writeTimed(w, msgDelta, enc); err != nil {
 		return err
 	}
-	if err := w.Flush(); err != nil {
-		return err
+	if s.met != nil {
+		s.met.deltaSessions.Inc()
 	}
 	s.addServed(int64(len(enc)))
 	return s.confirm(r, w, currentCRC)
@@ -402,7 +495,7 @@ func (s *Server) session(conn net.Conn) error {
 // ACK is what lets a device learn its flash was corrupted in flight and
 // fall back to a full image instead of booting a bad version.
 func (s *Server) confirm(r *bufio.Reader, w *bufio.Writer, currentCRC uint32) error {
-	payload, err := readMsg(r, msgStatus)
+	payload, err := s.readTimed(r, msgStatus)
 	if err != nil {
 		return err
 	}
@@ -411,10 +504,7 @@ func (s *Server) confirm(r *bufio.Reader, w *bufio.Writer, currentCRC uint32) er
 		return err
 	}
 	ok := st.OK && st.ImageCRC == currentCRC
-	if err := writeMsg(w, msgAck, encodeAck(ok)); err != nil {
-		return err
-	}
-	if err := w.Flush(); err != nil {
+	if err := s.writeTimed(w, msgAck, encodeAck(ok)); err != nil {
 		return err
 	}
 	if !ok {

@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand/v2"
 	"net"
 	"sync"
 	"time"
 
 	"ipdelta/internal/device"
+	"ipdelta/internal/obs"
 )
 
 // DialFunc opens a fresh connection for one session attempt. The runner
@@ -39,6 +41,12 @@ type RunnerConfig struct {
 	// Sleep overrides the inter-attempt wait, letting tests collapse the
 	// backoff schedule. Nil uses a context-aware timer.
 	Sleep func(ctx context.Context, d time.Duration) error
+	// Observer, when non-nil, receives client-side metrics: runs,
+	// attempts, retries, degradations to full image, bytes received, and
+	// per-attempt latency. Handles resolve once in NewRunner.
+	Observer *obs.Registry
+	// Logger receives per-attempt structured log lines. Nil discards.
+	Logger *slog.Logger
 }
 
 // withDefaults fills unset fields.
@@ -81,6 +89,8 @@ type RunReport struct {
 // concurrent Run calls.
 type Runner struct {
 	cfg RunnerConfig
+	met *clientMetrics
+	log *slog.Logger
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -89,7 +99,11 @@ type Runner struct {
 // NewRunner builds a Runner from cfg (zero fields take defaults).
 func NewRunner(cfg RunnerConfig) *Runner {
 	cfg = cfg.withDefaults()
-	return &Runner{cfg: cfg, rng: rand.New(rand.NewPCG(cfg.Seed, 1))}
+	ru := &Runner{cfg: cfg, log: obs.OrNop(cfg.Logger), rng: rand.New(rand.NewPCG(cfg.Seed, 1))}
+	if cfg.Observer != nil {
+		ru.met = resolveClientMetrics(cfg.Observer)
+	}
+	return ru
 }
 
 // errClass buckets session errors by the right response.
@@ -137,12 +151,40 @@ func classify(err error) errClass {
 // connection per attempt, until it converges, turns out to be up to date,
 // exhausts the attempt budget, or hits a fatal error.
 func (ru *Runner) Run(ctx context.Context, dial DialFunc, dev *device.Device) (RunReport, error) {
+	if ru.met != nil {
+		ru.met.runs.Inc()
+	}
+	rep, err := ru.run(ctx, dial, dev)
+	if ru.met != nil {
+		if err != nil {
+			ru.met.runFailures.Inc()
+		} else {
+			ru.met.bytesReceived.Add(rep.Result.DeltaBytes)
+			if rep.Result.UpToDate {
+				ru.met.upToDate.Inc()
+			}
+			if rep.Result.FullImage {
+				ru.met.fullTransfers.Inc()
+			}
+		}
+	}
+	return rep, err
+}
+
+func (ru *Runner) run(ctx context.Context, dial DialFunc, dev *device.Device) (RunReport, error) {
 	var rep RunReport
 	full := false
 	if p, ok := dev.PendingUpdate(); ok && p.Full {
 		// A previous run already degraded; resume the full install.
 		full = true
 		rep.FellBack = true
+	}
+	degrade := func() {
+		full = true
+		rep.FellBack = true
+		if ru.met != nil {
+			ru.met.degradations.Inc()
+		}
 	}
 	deltaFailures := 0
 	var lastErr error
@@ -151,12 +193,24 @@ func (ru *Runner) Run(ctx context.Context, dial DialFunc, dev *device.Device) (R
 			return rep, err
 		}
 		rep.Attempts = attempt
+		if ru.met != nil {
+			ru.met.attempts.Inc()
+			if attempt > 1 {
+				ru.met.retries.Inc()
+			}
+		}
 		res, err := ru.attempt(ctx, dial, dev, full)
 		if err == nil {
 			rep.Result = res
+			ru.log.Info("update converged",
+				"component", "client", "outcome", "ok",
+				"attempt", attempt, "bytes", res.DeltaBytes, "full", res.FullImage)
 			return rep, nil
 		}
 		lastErr = err
+		ru.log.Warn("attempt failed",
+			"component", "client", "outcome", "error",
+			"attempt", attempt, "full", full, "err", err)
 		rep.FailureLog = append(rep.FailureLog,
 			fmt.Sprintf("attempt %d (full=%v): %v", attempt, full, err))
 		switch classify(err) {
@@ -164,15 +218,13 @@ func (ru *Runner) Run(ctx context.Context, dial DialFunc, dev *device.Device) (R
 			return rep, err
 		case classDegrade:
 			if !full && ru.cfg.FullFallbackAfter > 0 {
-				full = true
-				rep.FellBack = true
+				degrade()
 			}
 		case classTransient:
 			if !full {
 				deltaFailures++
 				if ru.cfg.FullFallbackAfter > 0 && deltaFailures >= ru.cfg.FullFallbackAfter {
-					full = true
-					rep.FellBack = true
+					degrade()
 				}
 			}
 		}
@@ -188,6 +240,11 @@ func (ru *Runner) Run(ctx context.Context, dial DialFunc, dev *device.Device) (R
 
 // attempt runs one session on a fresh connection.
 func (ru *Runner) attempt(ctx context.Context, dial DialFunc, dev *device.Device, full bool) (Result, error) {
+	var span obs.Span
+	if ru.met != nil {
+		span = ru.met.attemptStage.Start()
+		defer span.End()
+	}
 	conn, err := dial(ctx)
 	if err != nil {
 		return Result{}, err

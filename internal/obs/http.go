@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// ServeHTTP renders the registry: Prometheus-style plain text by
+// default, a JSON Snapshot when the request asks for it with
+// ?format=json or an Accept: application/json header. Mount the
+// registry at /metrics:
+//
+//	mux.Handle("/metrics", reg)
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet && req.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	snap := r.Snapshot()
+	if req.URL.Query().Get("format") == "json" ||
+		strings.Contains(req.Header.Get("Accept"), "application/json") {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(snap.Text()))
+}
+
+// Text renders the snapshot in the Prometheus text exposition format:
+// one `name value` line per counter and gauge, and the conventional
+// `_bucket{le="..."}`, `_sum`, `_count` triplet per histogram. Names are
+// sorted so scrapes diff cleanly.
+func (s Snapshot) Text() string {
+	var b strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&b, "%s %d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(&b, "%s %d\n", name, s.Gauges[name])
+	}
+	histNames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		h := s.Histograms[name]
+		// Cumulative bucket counts, per the Prometheus convention.
+		cum := int64(0)
+		base, labelPrefix := splitLabel(name)
+		for _, bk := range h.Buckets {
+			cum += bk.Count
+			le := "+Inf"
+			if !bk.Inf {
+				le = fmt.Sprintf("%d", bk.Le)
+			}
+			fmt.Fprintf(&b, "%s_bucket{%sle=\"%s\"} %d\n", base, labelPrefix, le, cum)
+		}
+		fmt.Fprintf(&b, "%s_sum%s %d\n", base, wholeLabel(name), h.Sum)
+		fmt.Fprintf(&b, "%s_count%s %d\n", base, wholeLabel(name), h.Count)
+	}
+	return b.String()
+}
+
+// splitLabel splits a metric name carrying a baked-in label set, like
+// `x_nanos{policy="lm"}`, into the bare name and a label prefix ready to
+// be joined with the le label (`policy="lm",`). Unlabelled names return
+// an empty prefix.
+func splitLabel(name string) (base, labelPrefix string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	inner := strings.TrimSuffix(name[i+1:], "}")
+	if inner == "" {
+		return name[:i], ""
+	}
+	return name[:i], inner + ","
+}
+
+// wholeLabel returns the label set of a baked-label name (`{policy="lm"}`)
+// or "".
+func wholeLabel(name string) string {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return ""
+	}
+	return name[i:]
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

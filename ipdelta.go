@@ -29,6 +29,7 @@ import (
 	"ipdelta/internal/diff"
 	"ipdelta/internal/graph"
 	"ipdelta/internal/inplace"
+	"ipdelta/internal/obs"
 )
 
 // Core model types.
@@ -49,6 +50,16 @@ type (
 	Format = codec.Format
 	// Policy selects which vertex of a cycle to sacrifice.
 	Policy = graph.Policy
+	// ConvertOption customizes ConvertInPlace and DiffInPlace; see
+	// WithPolicy, WithScratchBudget, and WithObserver.
+	ConvertOption = inplace.Option
+	// Registry collects metrics (counters, gauges, latency histograms)
+	// from observed components. It serves Prometheus-style text or JSON
+	// over HTTP (it implements http.Handler) and snapshots for tests; see
+	// NewRegistry.
+	Registry = obs.Registry
+	// MetricsSnapshot is a point-in-time view of a Registry.
+	MetricsSnapshot = obs.Snapshot
 )
 
 // Command kinds.
@@ -110,37 +121,64 @@ func DiffGreedy(ref, version []byte) (*Delta, error) {
 	return diff.NewGreedy().Diff(ref, version)
 }
 
+// NewRegistry creates an empty metrics registry. Pass it to components
+// via WithObserver (and the sub-packages' observer options) and mount it
+// on an HTTP mux to expose a /metrics endpoint:
+//
+//	reg := ipdelta.NewRegistry()
+//	ip, st, _ := ipdelta.ConvertInPlace(d, ref, ipdelta.WithObserver(reg))
+//	http.Handle("/metrics", reg)
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// WithPolicy selects the cycle-breaking policy (default LocallyMinimum).
+func WithPolicy(p Policy) ConvertOption { return inplace.WithPolicy(p) }
+
+// WithScratchBudget lets the conversion spend up to n bytes of device
+// scratch memory to preserve copies that pure in-place conversion would
+// turn into adds (the bounded-scratch extension). A result that uses any
+// scratch must be encoded in FormatScratch; d.ScratchRequired() reports
+// how much it needs.
+func WithScratchBudget(n int64) ConvertOption { return inplace.WithScratchBudget(n) }
+
+// WithObserver attaches a metrics registry to the conversion: per-stage
+// timings and structural counters (edges, cycles broken per policy,
+// converted copies and bytes) are recorded into it. Observation adds no
+// allocations to the convert path.
+func WithObserver(r *Registry) ConvertOption { return inplace.WithObserver(r) }
+
 // ConvertInPlace rewrites d so a serial application in the space of ref is
 // correct (Equation 2 of the paper): copies are permuted by topologically
 // sorting the write-before-read conflict digraph, cycles are broken by
-// converting copies to adds under the locally-minimum policy, and all adds
-// move to the end.
-func ConvertInPlace(d *Delta, ref []byte) (*Delta, *ConvertStats, error) {
-	return inplace.Convert(d, ref)
+// converting copies to adds under the configured policy (default
+// locally-minimum), and all adds move to the end. Behavior is customized
+// with ConvertOption values: WithPolicy, WithScratchBudget, WithObserver.
+func ConvertInPlace(d *Delta, ref []byte, opts ...ConvertOption) (*Delta, *ConvertStats, error) {
+	return inplace.Convert(d, ref, opts...)
 }
 
 // ConvertInPlaceWithPolicy is ConvertInPlace under an explicit
 // cycle-breaking policy.
+//
+// Deprecated: use ConvertInPlace(d, ref, WithPolicy(p)).
 func ConvertInPlaceWithPolicy(d *Delta, ref []byte, p Policy) (*Delta, *ConvertStats, error) {
-	return inplace.Convert(d, ref, inplace.WithPolicy(p))
+	return ConvertInPlace(d, ref, WithPolicy(p))
 }
 
-// ConvertInPlaceScratch is ConvertInPlace with a scratch budget: the
-// device may spend up to budget bytes of memory to preserve copies that
-// pure in-place conversion would turn into adds (bounded-scratch
-// extension). The result must be encoded in FormatScratch when it uses any
-// scratch; d.ScratchRequired() reports how much.
+// ConvertInPlaceScratch is ConvertInPlace with a scratch budget.
+//
+// Deprecated: use ConvertInPlace(d, ref, WithScratchBudget(budget)).
 func ConvertInPlaceScratch(d *Delta, ref []byte, budget int64) (*Delta, *ConvertStats, error) {
-	return inplace.Convert(d, ref, inplace.WithScratchBudget(budget))
+	return ConvertInPlace(d, ref, WithScratchBudget(budget))
 }
 
-// DiffInPlace is Diff followed by ConvertInPlace.
-func DiffInPlace(ref, version []byte) (*Delta, *ConvertStats, error) {
+// DiffInPlace is Diff followed by ConvertInPlace; opts apply to the
+// conversion.
+func DiffInPlace(ref, version []byte, opts ...ConvertOption) (*Delta, *ConvertStats, error) {
 	d, err := Diff(ref, version)
 	if err != nil {
 		return nil, nil, err
 	}
-	return ConvertInPlace(d, ref)
+	return ConvertInPlace(d, ref, opts...)
 }
 
 // Patch materializes the version in fresh memory (requires both copies
