@@ -390,6 +390,81 @@ func BenchmarkStoreAppendAndServe(b *testing.B) {
 	}
 }
 
+// BenchmarkDiffParallel measures the sharded differencer at several worker
+// counts; compare against BenchmarkDiffLinear on a multi-core host.
+func BenchmarkDiffParallel(b *testing.B) {
+	p := benchPair(1 << 20)
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			pd := diff.NewParallelDiffer(workers)
+			defer pd.Close()
+			b.SetBytes(int64(len(p.Version)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pd.Diff(p.Ref, p.Version); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreVersionCached measures serving the head of a deep delta
+// chain cold (replay per request) and through the materialization cache.
+func BenchmarkStoreVersionCached(b *testing.B) {
+	const depth = 32
+	p := benchPair(64 << 10)
+	versions := [][]byte{p.Ref}
+	cur := p.Ref
+	for k := 1; k < depth; k++ {
+		v := append([]byte(nil), cur...)
+		splice := len(v) / 6
+		off := (k * 131) % (len(v) - splice)
+		copy(v[off:off+splice], p.Version[off:off+splice])
+		for j := 0; j < 64; j++ {
+			v[(off+j*97)%len(v)] ^= byte(k)
+		}
+		versions = append(versions, v)
+		cur = v
+	}
+	build := func(b *testing.B, opts ...store.Option) *store.Store {
+		s := store.New(versions[0], opts...)
+		for _, v := range versions[1:] {
+			if _, err := s.AppendVersion(v); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return s
+	}
+	head := depth - 1
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		s := build(b)
+		b.SetBytes(int64(len(versions[head])))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Version(head); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		b.ReportAllocs()
+		s := build(b, store.WithCache(8))
+		if _, err := s.Version(head); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(versions[head])))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Version(head); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkAlgorithms measures the E10 differencing algorithm ablation.
 func BenchmarkAlgorithms(b *testing.B) {
 	b.ReportAllocs()

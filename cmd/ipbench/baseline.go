@@ -13,6 +13,7 @@ import (
 	"ipdelta/internal/diff"
 	"ipdelta/internal/inplace"
 	"ipdelta/internal/obs"
+	"ipdelta/internal/store"
 )
 
 // The benchmark-baseline mode (-bench-baseline) measures the conversion
@@ -44,12 +45,14 @@ type baselineStage struct {
 // baselineDoc is the emitted document.
 type baselineDoc struct {
 	Environment struct {
-		GoVersion  string `json:"go_version"`
-		GOOS       string `json:"goos"`
-		GOARCH     string `json:"goarch"`
-		NumCPU     int    `json:"num_cpu"`
-		InputBytes int    `json:"input_bytes"`
-		Seed       int64  `json:"seed"`
+		GoVersion   string `json:"go_version"`
+		GOOS        string `json:"goos"`
+		GOARCH      string `json:"goarch"`
+		NumCPU      int    `json:"num_cpu"`
+		GOMAXPROCS  int    `json:"gomaxprocs"`
+		DiffWorkers []int  `json:"diff_workers"`
+		InputBytes  int    `json:"input_bytes"`
+		Seed        int64  `json:"seed"`
 	} `json:"environment"`
 	Results []baselineResult `json:"results"`
 	// Metrics carries selected counters from an instrumented convert run
@@ -58,6 +61,25 @@ type baselineDoc struct {
 	Metrics map[string]int64 `json:"metrics,omitempty"`
 	// Stages carries per-stage timing aggregates from the same run.
 	Stages []baselineStage `json:"stages,omitempty"`
+}
+
+// makeChain builds depth related version images for the store benchmarks:
+// each release splices fresh content into a copy of its predecessor, so the
+// deltas stay small and realistic.
+func makeChain(size, depth int, seed int64) [][]byte {
+	p := corpus.Generate(corpus.PairSpec{Profile: corpus.Binary, Size: size, ChangeRate: 0.05, Seed: seed})
+	chain := [][]byte{p.Ref}
+	cur := p.Ref
+	for k := 1; k < depth; k++ {
+		fresh := corpus.Generate(corpus.PairSpec{Profile: corpus.Binary, Size: size, ChangeRate: 0.05, Seed: seed + int64(k)})
+		v := append([]byte(nil), cur...)
+		splice := len(v) / 6
+		off := (k * 131) % (len(v) - splice)
+		copy(v[off:off+splice], fresh.Version[:splice])
+		chain = append(chain, v)
+		cur = v
+	}
+	return chain
 }
 
 // measure runs fn under testing.Benchmark and records the result. bytes is
@@ -117,11 +139,15 @@ func runBaseline(out io.Writer, outPath string, quick bool, seed int64) error {
 		return fmt.Errorf("bench-baseline: diff: %w", err)
 	}
 
+	parallelWorkers := []int{2, 4, 8}
+
 	doc := &baselineDoc{}
 	doc.Environment.GoVersion = runtime.Version()
 	doc.Environment.GOOS = runtime.GOOS
 	doc.Environment.GOARCH = runtime.GOARCH
 	doc.Environment.NumCPU = runtime.NumCPU()
+	doc.Environment.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	doc.Environment.DiffWorkers = parallelWorkers
 	doc.Environment.InputBytes = size
 	doc.Environment.Seed = seed
 
@@ -163,6 +189,58 @@ func runBaseline(out io.Writer, outPath string, quick bool, seed int64) error {
 	doc.measure("diff/reuse", vbytes, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := dr.Diff(p.Ref, p.Version); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// Parallel diff at fixed worker counts. Speedup only shows on machines
+	// with that many cores — the environment block records GOMAXPROCS so a
+	// reader can tell which of these rows had real parallelism available.
+	for _, w := range parallelWorkers {
+		pd := diff.NewParallelDiffer(w)
+		doc.measure(fmt.Sprintf("diff/parallel/%d", w), vbytes, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pd.Diff(p.Ref, p.Version); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		pd.Close()
+	}
+
+	// Store serving path: materializing the head of a delta chain cold
+	// (full replay per request) versus through the materialization cache
+	// (steady-state hits after one replay).
+	chainDepth := 32
+	if quick {
+		chainDepth = 8
+	}
+	chain := makeChain(size/4, chainDepth, seed)
+	head := len(chain) - 1
+	headBytes := int64(len(chain[head]))
+	cold := store.New(chain[0])
+	cached := store.New(chain[0], store.WithCache(8))
+	for _, v := range chain[1:] {
+		if _, err := cold.AppendVersion(v); err != nil {
+			return fmt.Errorf("bench-baseline: chain: %w", err)
+		}
+		if _, err := cached.AppendVersion(v); err != nil {
+			return fmt.Errorf("bench-baseline: chain: %w", err)
+		}
+	}
+	doc.measure(fmt.Sprintf("store/cold/%d", chainDepth), headBytes, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cold.Version(head); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if _, err := cached.Version(head); err != nil {
+		return fmt.Errorf("bench-baseline: warm cache: %w", err)
+	}
+	doc.measure(fmt.Sprintf("store/cached/%d", chainDepth), headBytes, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cached.Version(head); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -9,12 +9,17 @@
 //	        [-policies] [-strategies] [-composition] [-algorithms]
 //	        [-fleet] [-scratch]
 //	ipbench -bench-baseline [-baseline-out FILE] [-quick] [-seed N]
+//	ipbench -compare OLD.json [-compare-to NEW.json] [-threshold R]
 //
 // With no experiment flags, all experiments run. -json emits one JSON
 // document with every selected result instead of rendered tables.
 // -bench-baseline skips the experiments and instead measures the
-// conversion pipeline's hot paths (convert, CRWI build, diff, batch),
-// writing ns/op, allocs/op, and MB/s as JSON for before/after comparison.
+// conversion pipeline's hot paths (convert, CRWI build, diff — sequential
+// and parallel — batch, and store serving cold vs cached), writing ns/op,
+// allocs/op, and MB/s as JSON for before/after comparison. -compare reads
+// a previously committed baseline and a fresh one and exits non-zero when
+// any shared benchmark slowed down by more than -threshold (default 0.25,
+// i.e. 25%), or when a zero-allocation benchmark started allocating.
 package main
 
 import (
@@ -61,8 +66,14 @@ func run(args []string) error {
 	scratch := fs.Bool("scratch", false, "E12: bounded-scratch trade-off")
 	benchBaseline := fs.Bool("bench-baseline", false, "measure the conversion pipeline and emit a machine-readable baseline instead of running experiments")
 	baselineOut := fs.String("baseline-out", "BENCH_convert.json", "output path for -bench-baseline")
+	comparePath := fs.String("compare", "", "compare this old baseline JSON against -compare-to and exit non-zero on regression")
+	compareTo := fs.String("compare-to", "BENCH_convert.json", "new baseline JSON for -compare")
+	threshold := fs.Float64("threshold", 0.25, "allowed ns/op slowdown ratio for -compare (0.25 = 25%)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *comparePath != "" {
+		return runCompare(os.Stdout, *comparePath, *compareTo, *threshold)
 	}
 	if *benchBaseline {
 		return runBaseline(os.Stdout, *baselineOut, *quick, *seed)

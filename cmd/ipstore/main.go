@@ -62,12 +62,12 @@ func run(args []string) error {
 	}
 }
 
-func loadStore(path string) (*store.Store, error) {
+func loadStore(path string, opts ...store.Option) (*store.Store, error) {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return store.Load(blob)
+	return store.Load(blob, opts...)
 }
 
 func saveStore(path string, s *store.Store) error {

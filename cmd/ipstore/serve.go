@@ -26,6 +26,7 @@ func cmdServe(args []string) error {
 	storePath := fs.String("store", "", "store file")
 	listen := fs.String("listen", "127.0.0.1:7080", "listen address")
 	policyName := fs.String("policy", "locally-minimum", "cycle-breaking policy for served deltas")
+	cacheSize := fs.Int("cache", 64, "materialization cache entries (0 disables; versions and composed deltas are replayed per request)")
 	verbose := fs.Bool("v", false, "log each request (structured, stderr)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -33,7 +34,14 @@ func cmdServe(args []string) error {
 	if *storePath == "" {
 		return errors.New("serve: -store is required")
 	}
-	s, err := loadStore(*storePath)
+	reg := obs.NewRegistry()
+	// The cache and its hit/miss/dedup counters attach at load time, so
+	// /metrics shows the serving hot path from the first request.
+	storeOpts := []store.Option{store.WithObserver(reg)}
+	if *cacheSize > 0 {
+		storeOpts = append(storeOpts, store.WithCache(*cacheSize))
+	}
+	s, err := loadStore(*storePath, storeOpts...)
 	if err != nil {
 		return err
 	}
@@ -45,7 +53,6 @@ func cmdServe(args []string) error {
 	if *verbose {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
-	reg := obs.NewRegistry()
 	codec.SetObserver(reg)
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {

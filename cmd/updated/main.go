@@ -4,12 +4,15 @@
 // Usage:
 //
 //	updated -listen 127.0.0.1:7070 [-timeout D] [-failure-budget N]
-//	        [-metrics-addr ADDR] [-v] v1.img v2.img v3.img
+//	        [-metrics-addr ADDR] [-diff-workers N] [-v] v1.img v2.img v3.img
 //
 // Images are the release history, oldest first; devices running any of them
 // are upgraded to the last one. -timeout arms a per-message I/O deadline so
 // a stalled client cannot pin a server worker; -failure-budget turns away
-// clients (by remote host) after N consecutive failed sessions.
+// clients (by remote host) after N consecutive failed sessions;
+// -diff-workers computes per-release deltas with the parallel sharded
+// differencer, which matters on multi-core servers prewarming long
+// histories.
 //
 // -metrics-addr starts an HTTP listener serving the server's metrics
 // registry on /metrics (Prometheus-style text, or JSON with
@@ -29,6 +32,7 @@ import (
 	"os"
 
 	"ipdelta/internal/codec"
+	"ipdelta/internal/diff"
 	"ipdelta/internal/netupdate"
 	"ipdelta/internal/obs"
 )
@@ -46,6 +50,7 @@ func run(args []string) error {
 	timeout := fs.Duration("timeout", 0, "per-message I/O deadline inside a session (0 = none)")
 	failBudget := fs.Int("failure-budget", 0, "reject a client after N consecutive failed sessions (0 = never)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics on this HTTP address (empty = disabled)")
+	diffWorkers := fs.Int("diff-workers", 0, "compute deltas with this many parallel diff workers (0 = sequential)")
 	verbose := fs.Bool("v", false, "log each session (structured, stderr)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,12 +73,16 @@ func run(args []string) error {
 	}
 	reg := obs.NewRegistry()
 	codec.SetObserver(reg)
-	srv, err := netupdate.NewServer(history,
+	srvOpts := []netupdate.ServerOption{
 		netupdate.WithMessageTimeout(*timeout),
 		netupdate.WithFailureBudget(*failBudget),
 		netupdate.WithObserver(reg),
 		netupdate.WithLogger(logger),
-	)
+	}
+	if *diffWorkers > 0 {
+		srvOpts = append(srvOpts, netupdate.WithAlgorithm(diff.NewParallel(*diffWorkers)))
+	}
+	srv, err := netupdate.NewServer(history, srvOpts...)
 	if err != nil {
 		return err
 	}

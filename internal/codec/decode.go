@@ -114,7 +114,7 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 			return nil, fmt.Errorf("%w: copy section larger than command count", ErrHugeCommand)
 		}
 		d.copiesLeft = int(n) // n <= ncmds, already bounded by intCount
-		d.addsLeft = -1 // read lazily when the copy section is done
+		d.addsLeft = -1       // read lazily when the copy section is done
 	}
 	return d, nil
 }

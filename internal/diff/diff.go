@@ -1,7 +1,7 @@
 // Package diff implements binary differencing algorithms that produce the
 // delta files consumed by the in-place converter.
 //
-// Two algorithms are provided, mirroring the lineage the paper builds on:
+// The principal algorithms mirror the lineage the paper builds on:
 //
 //   - Linear: a linear-time, constant-space, one-pass differencer in the
 //     family of Burns & Long (IPCCC '97) and Ajtai et al. — the algorithm
@@ -9,6 +9,10 @@
 //     fingerprinted with a Karp–Rabin rolling hash into a fixed-size table;
 //     the version is scanned once, extending verified seed matches forward
 //     and backward.
+//   - Parallel: the same algorithm sharded across worker goroutines — a
+//     lock-free concurrent build of the fingerprint index, segmented
+//     version scans into per-worker arenas, and a seam-merge stitch —
+//     for multi-core throughput at near-identical compression.
 //   - Greedy: a byte-granular greedy matcher with chained hash buckets in
 //     the style of Reichenberger, kept as the classical baseline. It finds
 //     longer matches at higher cost (quadratic in the worst case).
@@ -37,6 +41,8 @@ func ByName(name string) (Algorithm, error) {
 	switch name {
 	case "linear":
 		return NewLinear(), nil
+	case "parallel":
+		return NewParallel(0), nil
 	case "greedy":
 		return NewGreedy(), nil
 	case "blockwise":

@@ -112,6 +112,9 @@ func TestDifferAllocs(t *testing.T) {
 // fingerprint table and emitter scratch must come from the pool and add
 // nothing. The bound of 4 is a rot guard above that floor.
 func TestLinearDiffAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts")
+	}
 	ref, version := allocBenchPair()
 	l := NewLinear()
 	if _, err := l.Diff(ref, version); err != nil { // warm the pool

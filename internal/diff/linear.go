@@ -3,6 +3,7 @@ package diff
 import (
 	"bytes"
 	"sync"
+	"sync/atomic"
 
 	"ipdelta/internal/delta"
 	"ipdelta/internal/obs"
@@ -141,23 +142,86 @@ func (h *krHasher) roll(out, in byte) uint64 {
 	return h.hash
 }
 
+// krTable maps fingerprint buckets to the first reference offset whose
+// seed hashed there. Entries are generation-tagged — the high 32 bits hold
+// the generation that wrote the entry, the low 32 bits the offset plus one
+// — so reusing the table for a new diff is a generation bump, not a
+// multi-megabyte clear. (BENCH_convert.json showed the reuse path benching
+// *slower* than one-shot because prepare cleared the whole table each
+// call; with tagging, stale entries are invalidated for free.)
+//
+// The packed layout also gives the parallel differ a lock-free build: a
+// single compare-and-swap installs generation and offset together, with
+// min-offset-wins preserving the sequential first-occurrence semantics.
+type krTable struct {
+	entries []uint64
+	gen     uint32
+	mask    uint64
+}
+
+// prepare sizes the table for 2^bits entries and advances the generation,
+// invalidating all previous entries without touching them.
+func (t *krTable) prepare(bits uint) {
+	size := 1 << bits
+	if len(t.entries) != size {
+		t.entries = make([]uint64, size)
+		t.gen = 1
+		t.mask = uint64(size) - 1
+		return
+	}
+	t.gen++
+	if t.gen == 0 {
+		// Generation wrap: ancient entries could alias the new generation,
+		// so pay the one clear per 2^32 diffs.
+		clear(t.entries)
+		t.gen = 1
+	}
+}
+
+// insert records offset r for bucket b if the bucket is empty this
+// generation (first occurrence wins, matching the left-to-right scan).
+func (t *krTable) insert(b uint64, r int) {
+	if uint32(t.entries[b]>>32) != t.gen {
+		t.entries[b] = uint64(t.gen)<<32 | uint64(uint32(r+1))
+	}
+}
+
+// lookup returns the stored offset for bucket b, if current.
+func (t *krTable) lookup(b uint64) (int, bool) {
+	e := t.entries[b]
+	if uint32(e>>32) != t.gen {
+		return 0, false
+	}
+	return int(uint32(e)) - 1, true
+}
+
+// insertMin atomically records offset r for bucket b, keeping the smallest
+// offset per generation. Concurrent builders over disjoint reference
+// shards converge on exactly the table the sequential insert produces.
+func (t *krTable) insertMin(b uint64, r int) {
+	want := uint64(t.gen)<<32 | uint64(uint32(r+1))
+	for {
+		cur := atomic.LoadUint64(&t.entries[b])
+		if uint32(cur>>32) == t.gen && uint32(cur) <= uint32(r+1) {
+			return
+		}
+		if atomic.CompareAndSwapUint64(&t.entries[b], cur, want) {
+			return
+		}
+	}
+}
+
 // linearState is one diff's working memory: the fingerprint table and the
 // emitter. States are pooled per Linear instance (the table size is an
 // instance parameter, so states are not interchangeable across instances).
 type linearState struct {
-	table []int32
+	table krTable
 	e     emitter
 }
 
-// prepare sizes (or clears) the table for 2^bits entries and resets the
-// emitter.
+// prepare readies the table for 2^bits entries and resets the emitter.
 func (st *linearState) prepare(bits uint) {
-	size := 1 << bits
-	if len(st.table) != size {
-		st.table = make([]int32, size)
-	} else {
-		clear(st.table)
-	}
+	st.table.prepare(bits)
 	st.e.reset()
 }
 
@@ -206,69 +270,107 @@ func (l *Linear) scan(st *linearState, ref, version []byte) {
 	if l.met != nil {
 		span = l.met.tableStage.Start()
 	}
-
-	// Index the reference: table[h] holds 1 + offset of the first seed
-	// whose fingerprint maps to bucket h (0 means empty).
-	mask := (uint64(1) << l.tableBits) - 1
-	table := st.table
-	rh := newKRHasher(p)
-	rh.init(ref[:p])
-	for r := 0; ; r++ {
-		b := rh.hash & mask
-		if table[b] == 0 {
-			table[b] = int32(r) + 1
-		}
-		if r+p >= len(ref) {
-			break
-		}
-		rh.roll(ref[r], ref[r+p])
-	}
-
+	buildTable(&st.table, ref, p, 0, len(ref)-p+1)
 	if l.met != nil {
 		span.End()
 		span = l.met.emitStage.Start()
 	}
+	scanRange(&st.table, &st.e, ref, version, p, 0, len(version), 0)
+	if l.met != nil {
+		span.End()
+	}
+}
 
-	// Scan the version.
-	e := &st.e
+// buildTable indexes the reference seeds whose start offsets lie in
+// [rlo, rhi): table[h] maps the fingerprint bucket h to the seed's first
+// occurrence. shard selects the insert discipline: sequential first-wins
+// for the single builder, atomic min-wins when reference shards build
+// concurrently (the results are identical).
+func buildTable(t *krTable, ref []byte, p, rlo, rhi int) {
+	if rlo >= rhi {
+		return
+	}
+	rh := newKRHasher(p)
+	rh.init(ref[rlo : rlo+p])
+	for r := rlo; ; r++ {
+		t.insert(rh.hash&t.mask, r)
+		if r+1 >= rhi {
+			break
+		}
+		rh.roll(ref[r], ref[r+p])
+	}
+}
+
+// buildTableShard is buildTable with atomic min-wins inserts, for
+// concurrent builders over disjoint [rlo, rhi) reference shards.
+func buildTableShard(t *krTable, ref []byte, p, rlo, rhi int) {
+	if rlo >= rhi {
+		return
+	}
+	rh := newKRHasher(p)
+	rh.init(ref[rlo : rlo+p])
+	for r := rlo; ; r++ {
+		t.insertMin(rh.hash&t.mask, r)
+		if r+1 >= rhi {
+			break
+		}
+		rh.roll(ref[r], ref[r+p])
+	}
+}
+
+// scanRange scans version[start:end) against the indexed reference,
+// emitting commands into e that cover exactly those bytes. Seed windows
+// may read past end (the overlap window of a parallel segment scan —
+// capped at len(version)); emitted copies never write past end, and
+// backward extension never crosses start, so per-segment outputs
+// concatenate into a well-formed delta. minCopy suppresses boundary-capped
+// copies shorter than the seed would allow (0 keeps every verified match).
+func scanRange(t *krTable, e *emitter, ref, version []byte, p, start, end, minCopy int) {
+	if start >= end {
+		return
+	}
+	v := start
+	lit := start // start of the current unmatched literal run
+	if v+p > len(version) {
+		e.literal(version[lit:end])
+		return
+	}
 	vh := newKRHasher(p)
-	vh.init(version[:p])
-	v := 0
-	lit := 0 // start of the current unmatched literal run
+	vh.init(version[v : v+p])
 	for {
-		b := vh.hash & mask
 		matched := false
-		if table[b] != 0 {
-			r := int(table[b]) - 1
+		if r, ok := t.lookup(vh.hash & t.mask); ok {
 			// Verify: fingerprints collide, bytes decide.
 			if bytes.Equal(ref[r:r+p], version[v:v+p]) {
 				fwd := p + matchForward(ref, version, r+p, v+p)
+				if v+fwd > end {
+					fwd = end - v
+				}
 				back := matchBackward(ref, version, r, v, v-lit)
-				// Emit literals preceding the (extended) match.
-				e.literal(version[lit : v-back])
-				e.copyCmd(int64(r-back), int64(fwd+back))
-				v += fwd
-				lit = v
-				matched = true
+				if fwd+back >= minCopy {
+					// Emit literals preceding the (extended) match.
+					e.literal(version[lit : v-back])
+					e.copyCmd(int64(r-back), int64(fwd+back))
+					v += fwd
+					lit = v
+					matched = true
+				}
 			}
 		}
 		if matched {
-			if v+p > len(version) {
+			if v >= end || v+p > len(version) {
 				break
 			}
 			vh.init(version[v : v+p])
 			continue
 		}
-		if v+p >= len(version) {
+		if v+1 >= end || v+1+p > len(version) {
 			break
 		}
 		vh.roll(version[v], version[v+p])
 		v++
 	}
-	e.literal(version[lit:])
-	if l.met != nil {
-		span.End()
-	}
+	e.literal(version[lit:end])
 }
 
 // Differ is a reusable linear differencer for single-threaded steady-state

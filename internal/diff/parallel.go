@@ -1,0 +1,387 @@
+package diff
+
+import (
+	"runtime"
+	"sync"
+
+	"ipdelta/internal/delta"
+	"ipdelta/internal/obs"
+)
+
+// Parallel is the multi-core differencer. It keeps the Linear algorithm's
+// structure — one Karp–Rabin fingerprint index over the reference, one
+// left-to-right scan of the version — but spreads both phases across
+// worker goroutines:
+//
+//   - the reference is split into shards that build the shared fingerprint
+//     table concurrently, lock-free, with atomic min-offset-wins inserts
+//     that converge on exactly the table the sequential build produces;
+//   - the version is split into worker segments, each scanned into its own
+//     pooled command arena. A segment's seed windows may read past its end
+//     (the overlap window), but its commands cover exactly its byte range,
+//     so the per-worker streams concatenate into a well-formed delta;
+//   - the stitch pass merges seam-adjacent commands — a copy split in two
+//     by a segment boundary whose halves are contiguous in both reference
+//     and version, or a literal run split across two arenas — so output
+//     quality tracks the sequential baseline; only matches that genuinely
+//     straddle a seam unaligned are lost.
+//
+// Working memory (table, per-worker emitters) is pooled per instance, as
+// in Linear; the detached Diff result costs the same three allocations.
+// For the zero-allocation steady state, see ParallelDiffer.
+type Parallel struct {
+	l       *Linear // configuration, shared metrics, scan primitives
+	workers int
+	pmet    *parallelMetrics
+	pool    sync.Pool // of *parallelState
+}
+
+// parallelMetrics holds the pre-resolved handles of an observed Parallel
+// (DESIGN.md §10). Per-diff updates are atomic adds and value-type spans.
+type parallelMetrics struct {
+	seamMerges *obs.Counter // commands rejoined across segment boundaries
+	segments   *obs.Counter // version segments scanned
+
+	workerScan obs.Stage // one span per worker per diff
+	stitch     obs.Stage // seam merge + command stream concatenation
+}
+
+func resolveParallelMetrics(r *obs.Registry) *parallelMetrics {
+	return &parallelMetrics{
+		seamMerges: r.Counter("ipdelta_diff_seam_merges_total"),
+		segments:   r.Counter("ipdelta_diff_segments_total"),
+		workerScan: r.Stage("ipdelta_diff_stage_worker_scan_nanos"),
+		stitch:     r.Stage("ipdelta_diff_stage_stitch_nanos"),
+	}
+}
+
+// minSegment is the smallest version segment worth a goroutine: below
+// this, coordination overhead and seam losses dominate and the input is
+// scanned with fewer workers (possibly one).
+const minSegment = 4 << 10
+
+// NewParallel returns a parallel differencer running the given number of
+// workers (0 or negative means GOMAXPROCS). Options configure the
+// underlying linear scan (seed length, table size, observer).
+func NewParallel(workers int, opts ...LinearOption) *Parallel {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pl := &Parallel{l: NewLinear(opts...), workers: workers}
+	if pl.l.obs != nil {
+		pl.pmet = resolveParallelMetrics(pl.l.obs)
+	}
+	return pl
+}
+
+// Name implements Algorithm.
+func (pl *Parallel) Name() string { return "parallel" }
+
+// Workers returns the configured worker count.
+func (pl *Parallel) Workers() int { return pl.workers }
+
+// Phases a segment worker executes.
+const (
+	jobBuild = iota // index the reference shard (atomic inserts)
+	jobScan         // scan the version range into the segment emitter
+)
+
+// segment is one worker's slice of a parallel diff: a reference shard for
+// the build phase, a version range for the scan phase, and the emitter
+// that owns the worker's command arena. Fields are rewritten per diff;
+// nothing is allocated in steady state.
+type segment struct {
+	table     *krTable
+	e         emitter
+	ref       []byte
+	version   []byte
+	p         int
+	rlo, rhi  int // reference seed range to index
+	vlo, vhi  int // version byte range to scan
+	minCopy   int
+	job       int
+	wg        *sync.WaitGroup
+	scanStage obs.Stage
+}
+
+// run executes the segment's current job and signals completion.
+func (sg *segment) run() {
+	switch sg.job {
+	case jobBuild:
+		buildTableShard(sg.table, sg.ref, sg.p, sg.rlo, sg.rhi)
+	case jobScan:
+		span := sg.scanStage.Start()
+		scanRange(sg.table, &sg.e, sg.ref, sg.version, sg.p, sg.vlo, sg.vhi, sg.minCopy)
+		span.End()
+	}
+	sg.wg.Done()
+}
+
+// workerPool is a set of persistent goroutines fed segments over an
+// unbuffered channel. Channel sends and WaitGroup operations allocate
+// nothing, which is what lets a ParallelDiffer hold the steady state at
+// zero allocations per diff — a `go` statement with arguments heap-
+// allocates its argument frame on every spawn.
+type workerPool struct {
+	work chan *segment
+	stop sync.Once
+}
+
+func newWorkerPool(n int) *workerPool {
+	wp := &workerPool{work: make(chan *segment)}
+	for i := 0; i < n; i++ {
+		go wp.worker()
+	}
+	return wp
+}
+
+func (wp *workerPool) worker() {
+	for sg := range wp.work {
+		sg.run()
+	}
+}
+
+// shutdown releases the pool's goroutines. Idempotent.
+func (wp *workerPool) shutdown() {
+	wp.stop.Do(func() { close(wp.work) })
+}
+
+// parallelState is one diff's working memory: the shared fingerprint
+// table and the per-worker segments. Pooled per Parallel instance.
+type parallelState struct {
+	table krTable
+	segs  []segment
+	wg    sync.WaitGroup
+}
+
+// dispatch runs one phase over the first w segments: through the
+// persistent pool when one is attached, otherwise on freshly spawned
+// goroutines. It returns when every segment's job completed.
+func (st *parallelState) dispatch(w, job int, wp *workerPool) {
+	st.wg.Add(w)
+	for i := 0; i < w; i++ {
+		sg := &st.segs[i]
+		sg.job = job
+		if wp != nil {
+			wp.work <- sg
+		} else {
+			go sg.run()
+		}
+	}
+	st.wg.Wait()
+}
+
+// run executes the sharded build and segmented scan phases, leaving each
+// segment's commands in its emitter. It returns the number of segments
+// used (1 for inputs too small to split).
+func (pl *Parallel) run(st *parallelState, ref, version []byte, wp *workerPool) int {
+	p := pl.l.seedLen
+	st.table.prepare(pl.l.tableBits)
+
+	w := pl.workers
+	if most := len(version) / minSegment; w > most {
+		w = most
+	}
+	if w < 1 {
+		w = 1
+	}
+	if cap(st.segs) < w {
+		st.segs = make([]segment, w)
+	}
+	st.segs = st.segs[:w]
+
+	var scanStage obs.Stage
+	if pl.pmet != nil {
+		scanStage = pl.pmet.workerScan
+	}
+	nseeds := len(ref) - p + 1 // reference seed positions; may be <= 0
+	for i := 0; i < w; i++ {
+		sg := &st.segs[i]
+		sg.table = &st.table
+		sg.ref = ref
+		sg.version = version
+		sg.p = p
+		sg.wg = &st.wg
+		sg.scanStage = scanStage
+		sg.minCopy = p
+		if nseeds > 0 {
+			sg.rlo = i * nseeds / w
+			sg.rhi = (i + 1) * nseeds / w
+		} else {
+			sg.rlo, sg.rhi = 0, 0
+		}
+		sg.vlo = i * len(version) / w
+		sg.vhi = (i + 1) * len(version) / w
+		// The emitter writes at absolute version offsets: start the
+		// segment's write cursor at its first byte.
+		sg.e.reset()
+		sg.e.at = int64(sg.vlo)
+	}
+
+	var span obs.Span
+	if pl.l.met != nil {
+		span = pl.l.met.tableStage.Start()
+	}
+	if w == 1 {
+		buildTable(&st.table, ref, p, 0, nseeds)
+	} else {
+		st.dispatch(w, jobBuild, wp)
+	}
+	if pl.l.met != nil {
+		span.End()
+		span = pl.l.met.emitStage.Start()
+	}
+	if w == 1 {
+		sg := &st.segs[0]
+		sp := sg.scanStage.Start()
+		scanRange(sg.table, &sg.e, ref, version, p, 0, len(version), p)
+		sp.End()
+	} else {
+		st.dispatch(w, jobScan, wp)
+	}
+	if pl.l.met != nil {
+		span.End()
+	}
+	return w
+}
+
+// stitch concatenates the per-worker command streams into cmds and their
+// literal arenas into arena, merging the first command of each segment
+// into the previous segment's last command when they are contiguous in
+// both source and destination (a match or literal run the segment split).
+// Add commands still carry arena offsets in From; the caller resolves
+// them. Returns the merged command count delta for observability.
+func stitch(segs []segment, cmds []delta.Command, arena []byte) ([]delta.Command, []byte, int) {
+	merges := 0
+	for i := range segs {
+		e := &segs[i].e
+		e.flushAdd()
+		base := int64(len(arena))
+		arena = append(arena, e.lits...)
+		for k := range e.cmds {
+			c := e.cmds[k]
+			if c.Op == delta.OpAdd {
+				c.From += base
+			}
+			if k == 0 && len(cmds) > 0 {
+				last := &cmds[len(cmds)-1]
+				// Seam merge: contiguous in write offset and in source
+				// (reference offset for copies, arena offset for adds —
+				// arenas are laid end to end, so a literal run split by
+				// the seam is contiguous here exactly when it was
+				// contiguous in the version).
+				if last.Op == c.Op && last.To+last.Length == c.To && last.From+last.Length == c.From {
+					last.Length += c.Length
+					merges++
+					continue
+				}
+			}
+			cmds = append(cmds, c)
+		}
+	}
+	return cmds, arena, merges
+}
+
+// Diff implements Algorithm. The result is detached: like (*Linear).Diff
+// it costs three allocations (delta, command slice, one literal arena);
+// the table and per-worker scratch come from the pool.
+func (pl *Parallel) Diff(ref, version []byte) (*delta.Delta, error) {
+	st, _ := pl.pool.Get().(*parallelState)
+	if st == nil {
+		st = &parallelState{}
+	}
+	w := pl.run(st, ref, version, nil)
+
+	var span obs.Span
+	if pl.pmet != nil {
+		span = pl.pmet.stitch.Start()
+	}
+	ncmds, nlits := 0, 0
+	for i := 0; i < w; i++ {
+		e := &st.segs[i].e
+		e.flushAdd()
+		ncmds += len(e.cmds)
+		nlits += len(e.lits)
+	}
+	cmds, arena, merges := stitch(st.segs[:w], make([]delta.Command, 0, ncmds), make([]byte, 0, nlits))
+	resolveAdds(cmds, arena)
+	d := &delta.Delta{
+		RefLen:     int64(len(ref)),
+		VersionLen: int64(len(version)),
+		Commands:   cmds,
+	}
+	if pl.pmet != nil {
+		span.End()
+		pl.pmet.seamMerges.Add(int64(merges))
+		pl.pmet.segments.Add(int64(w))
+	}
+	pl.pool.Put(st)
+	pl.l.record(ref, version, len(d.Commands))
+	return d, nil
+}
+
+// ParallelDiffer is the reusable parallel differencer for steady-state
+// pipelines: one instance owns the fingerprint table, the per-worker
+// arenas, and the stitched output, so repeated Diff calls perform no heap
+// allocations at all once warm. The returned delta is owned by the differ
+// and valid only until its next call — the contract of (*Differ).Diff. A
+// ParallelDiffer is not safe for concurrent use; (*Parallel).Diff pools
+// its state internally and is.
+type ParallelDiffer struct {
+	pl   *Parallel
+	wp   *workerPool
+	st   parallelState
+	cmds []delta.Command
+	lits []byte
+	out  delta.Delta
+}
+
+// NewParallelDiffer returns a reusable parallel differencer (workers <= 0
+// means GOMAXPROCS) with the given options applied. The differ owns a set
+// of persistent worker goroutines; Close releases them early, and a
+// garbage-collected differ releases them automatically.
+func NewParallelDiffer(workers int, opts ...LinearOption) *ParallelDiffer {
+	pd := &ParallelDiffer{pl: NewParallel(workers, opts...)}
+	pd.wp = newWorkerPool(pd.pl.workers)
+	// The cleanup must not capture pd (it would never become unreachable);
+	// it references only the pool.
+	runtime.AddCleanup(pd, func(wp *workerPool) { wp.shutdown() }, pd.wp)
+	return pd
+}
+
+// Close releases the differ's worker goroutines. The differ must not be
+// used afterwards. Optional: an unreachable differ is cleaned up by the
+// garbage collector.
+func (pd *ParallelDiffer) Close() { pd.wp.shutdown() }
+
+// Name identifies the algorithm in reports.
+func (pd *ParallelDiffer) Name() string { return pd.pl.Name() }
+
+// Workers returns the configured worker count.
+func (pd *ParallelDiffer) Workers() int { return pd.pl.workers }
+
+// Diff computes the delta like (*Parallel).Diff, into differ-owned
+// storage that is reused by — and valid only until — the next call.
+func (pd *ParallelDiffer) Diff(ref, version []byte) (*delta.Delta, error) {
+	w := pd.pl.run(&pd.st, ref, version, pd.wp)
+
+	var span obs.Span
+	if pd.pl.pmet != nil {
+		span = pd.pl.pmet.stitch.Start()
+	}
+	var merges int
+	pd.cmds, pd.lits, merges = stitch(pd.st.segs[:w], pd.cmds[:0], pd.lits[:0])
+	resolveAdds(pd.cmds, pd.lits)
+	pd.out = delta.Delta{
+		RefLen:     int64(len(ref)),
+		VersionLen: int64(len(version)),
+		Commands:   pd.cmds,
+	}
+	if pd.pl.pmet != nil {
+		span.End()
+		pd.pl.pmet.seamMerges.Add(int64(merges))
+		pd.pl.pmet.segments.Add(int64(w))
+	}
+	pd.pl.l.record(ref, version, len(pd.out.Commands))
+	return &pd.out, nil
+}

@@ -67,6 +67,31 @@ func TestDeltaEncodedFetches(t *testing.T) {
 	}
 }
 
+func TestParallelDiffOption(t *testing.T) {
+	v1 := newPage(7)
+	res := NewResource(v1, WithParallelDiff(4))
+	srv := httptest.NewServer(res)
+	defer srv.Close()
+
+	c := NewClient(srv.Client())
+	if _, err := c.Get(srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	cold := c.TransferredBytes()
+	v2 := edit(v1, 3)
+	res.Update(v2)
+	got, err := c.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, v2) {
+		t.Fatal("warm fetch mismatch with parallel differencer")
+	}
+	if warm := c.TransferredBytes() - cold; warm > int64(len(v2))/10 {
+		t.Fatalf("parallel diff transferred %d of %d bytes; delta encoding degraded", warm, len(v2))
+	}
+}
+
 func TestPlainClientGetsFullBody(t *testing.T) {
 	v1 := newPage(2)
 	res := NewResource(v1)

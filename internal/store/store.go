@@ -5,6 +5,12 @@
 // composition — a single direct delta can be produced from any stored
 // version to the newest one, ready for in-place conversion and device
 // distribution, without materializing the intermediate versions.
+//
+// A Store is safe for concurrent use. With WithCache, recently
+// materialized versions and composed deltas are kept in a bounded LRU
+// with singleflight deduplication, so a serving hot path stops replaying
+// the delta chain per request (see DESIGN.md §10); cached artifacts are
+// shared and must be treated as read-only by callers.
 package store
 
 import (
@@ -14,12 +20,14 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sync"
 
 	"ipdelta/internal/codec"
 	"ipdelta/internal/delta"
 	"ipdelta/internal/diff"
 	"ipdelta/internal/graph"
 	"ipdelta/internal/inplace"
+	"ipdelta/internal/obs"
 )
 
 // Errors reported by the store.
@@ -36,11 +44,36 @@ type release struct {
 	d      *delta.Delta // from release k-1 to k; nil for k == 0
 }
 
-// Store holds a release history as base + delta chain.
+// storeMetrics holds the pre-resolved stage handles of an observed Store
+// (DESIGN.md §10). The cache resolves its own counters.
+type storeMetrics struct {
+	materialize obs.Stage    // cold chain replays
+	compose     obs.Stage    // cold delta compositions
+	replays     *obs.Counter // chain links applied by materializations
+}
+
+func resolveStoreMetrics(r *obs.Registry) *storeMetrics {
+	return &storeMetrics{
+		materialize: r.Stage("ipdelta_store_stage_materialize_nanos"),
+		compose:     r.Stage("ipdelta_store_stage_compose_nanos"),
+		replays:     r.Counter("ipdelta_store_chain_replays_total"),
+	}
+}
+
+// Store holds a release history as base + delta chain. It is safe for
+// concurrent use: any number of readers may overlap with appends.
 type Store struct {
-	base     []byte
+	mu       sync.RWMutex // guards releases (append-only; elements immutable)
+	appendMu sync.Mutex   // serializes AppendVersion end to end
+	base     []byte       // immutable after New/Load
 	releases []release
 	algo     diff.Algorithm
+	cache    *matCache
+	met      *storeMetrics
+
+	// Construction-time knobs recorded by options, consumed by finish.
+	cacheSize int
+	obsReg    *obs.Registry
 }
 
 // Option customizes a Store.
@@ -52,6 +85,27 @@ func WithAlgorithm(a diff.Algorithm) Option {
 	return func(s *Store) { s.algo = a }
 }
 
+// WithCache enables the materialization cache: up to max recently used
+// artifacts (version images and composed deltas combined; max <= 0 means
+// the default 64) are retained, and concurrent requests for the same cold
+// artifact share one computation. Version and DeltaBetween then return
+// shared values that must be treated as read-only.
+func WithCache(max int) Option {
+	return func(s *Store) {
+		s.cacheSize = max
+		if s.cacheSize <= 0 {
+			s.cacheSize = defaultCacheEntries
+		}
+	}
+}
+
+// WithObserver attaches a metrics registry: materialization and
+// composition stage timings, chain-replay counts, and — when WithCache is
+// also set — cache hit/miss/eviction counters and the in-flight gauge.
+func WithObserver(r *obs.Registry) Option {
+	return func(s *Store) { s.obsReg = r }
+}
+
 // New creates a store whose first version is base.
 func New(base []byte, opts ...Option) *Store {
 	s := &Store{
@@ -61,17 +115,31 @@ func New(base []byte, opts ...Option) *Store {
 	for _, o := range opts {
 		o(s)
 	}
+	if s.obsReg != nil {
+		s.met = resolveStoreMetrics(s.obsReg)
+	}
+	if s.cacheSize > 0 {
+		s.cache = newMatCache(s.cacheSize, s.obsReg)
+	}
 	s.releases = []release{{crc: crc32.ChecksumIEEE(base), length: int64(len(base))}}
 	return s
 }
 
 // NumVersions returns how many versions the store holds.
-func (s *Store) NumVersions() int { return len(s.releases) }
+func (s *Store) NumVersions() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.releases)
+}
 
 // AppendVersion stores a new head version as a delta against the current
-// head and returns its index.
+// head and returns its index. Appends are serialized with each other but
+// overlap freely with readers; existing versions and cached artifacts are
+// never invalidated (the history is append-only).
 func (s *Store) AppendVersion(version []byte) (int, error) {
-	head, err := s.Version(len(s.releases) - 1)
+	s.appendMu.Lock()
+	defer s.appendMu.Unlock()
+	head, err := s.Version(s.NumVersions() - 1)
 	if err != nil {
 		return 0, err
 	}
@@ -79,32 +147,79 @@ func (s *Store) AppendVersion(version []byte) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("store append: %w", err)
 	}
-	s.releases = append(s.releases, release{
+	rel := release{
 		crc:    crc32.ChecksumIEEE(version),
 		length: int64(len(version)),
 		d:      d,
-	})
-	return len(s.releases) - 1, nil
+	}
+	s.mu.Lock()
+	s.releases = append(s.releases, rel)
+	n := len(s.releases)
+	s.mu.Unlock()
+	return n - 1, nil
 }
 
-// Version materializes version i by applying the delta chain.
+// Version materializes version i by applying the delta chain. On a
+// cache-enabled store the result may be a shared cached image — treat it
+// as read-only — and a miss replays only the suffix of the chain below
+// the deepest cached ancestor.
 func (s *Store) Version(i int) ([]byte, error) {
-	if i < 0 || i >= len(s.releases) {
-		return nil, fmt.Errorf("%w: %d of %d", ErrNoSuchVersion, i, len(s.releases))
+	if n := s.NumVersions(); i < 0 || i >= n {
+		return nil, fmt.Errorf("%w: %d of %d", ErrNoSuchVersion, i, n)
 	}
-	cur := append([]byte(nil), s.base...)
-	for k := 1; k <= i; k++ {
-		next, err := s.releases[k].d.Apply(cur)
+	if s.cache == nil {
+		return s.materialize(i, nil)
+	}
+	v, err := s.cache.do(cacheKey{kind: kindVersion, to: i}, func() (any, error) {
+		return s.materialize(i, s.cache)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]byte), nil
+}
+
+// materialize replays the delta chain up to version i, starting from the
+// deepest cached ancestor when a cache is available. The bounds of i were
+// checked by the caller; the chain below i is immutable, so the releases
+// snapshot stays valid after the lock is dropped.
+func (s *Store) materialize(i int, c *matCache) ([]byte, error) {
+	var span obs.Span
+	if s.met != nil {
+		span = s.met.materialize.Start()
+	}
+	start, cur := 0, s.base
+	if c != nil {
+		if k, img, ok := c.nearestVersion(i); ok {
+			start, cur = k, img
+		}
+	}
+	s.mu.RLock()
+	chain := s.releases[start+1 : i+1]
+	s.mu.RUnlock()
+	for k := range chain {
+		next, err := chain[k].d.Apply(cur)
 		if err != nil {
 			return nil, fmt.Errorf("store version %d: %w", i, err)
 		}
 		cur = next
+	}
+	if s.met != nil {
+		s.met.replays.Add(int64(len(chain)))
+		span.End()
+	}
+	if len(chain) == 0 && c == nil {
+		// Uncached callers own the result; never hand out the base image
+		// or a cached ancestor itself.
+		cur = append([]byte(nil), cur...)
 	}
 	return cur, nil
 }
 
 // CRC returns the stored identity of version i.
 func (s *Store) CRC(i int) (uint32, int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if i < 0 || i >= len(s.releases) {
 		return 0, 0, fmt.Errorf("%w: %d of %d", ErrNoSuchVersion, i, len(s.releases))
 	}
@@ -113,6 +228,8 @@ func (s *Store) CRC(i int) (uint32, int64, error) {
 
 // Lookup finds the version index with the given identity.
 func (s *Store) Lookup(crc uint32, length int64) (int, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for k, r := range s.releases {
 		if r.crc == crc && r.length == length {
 			return k, true
@@ -123,30 +240,60 @@ func (s *Store) Lookup(crc uint32, length int64) (int, bool) {
 
 // DeltaBetween returns a single delta from version i to version j (i < j)
 // by composing the stored chain — no intermediate version is materialized.
+// On a cache-enabled store the composition is memoized per (i, j) with
+// singleflight deduplication; the returned delta is shared and must be
+// treated as read-only.
 func (s *Store) DeltaBetween(i, j int) (*delta.Delta, error) {
-	if i < 0 || j >= len(s.releases) || i > j {
-		return nil, fmt.Errorf("%w: %d..%d of %d", ErrNoSuchVersion, i, j, len(s.releases))
+	if n := s.NumVersions(); i < 0 || j >= n || i > j {
+		return nil, fmt.Errorf("%w: %d..%d of %d", ErrNoSuchVersion, i, j, n)
 	}
 	if i == j {
-		// Identity delta.
-		id := &delta.Delta{RefLen: s.releases[i].length, VersionLen: s.releases[i].length}
+		// Identity delta: cheap enough to rebuild per call.
+		s.mu.RLock()
+		length := s.releases[i].length
+		s.mu.RUnlock()
+		id := &delta.Delta{RefLen: length, VersionLen: length}
 		if id.RefLen > 0 {
 			id.Commands = []delta.Command{delta.NewCopy(0, 0, id.RefLen)}
 		}
 		return id, nil
 	}
+	if s.cache == nil {
+		return s.compose(i, j)
+	}
+	v, err := s.cache.do(cacheKey{kind: kindDelta, from: i, to: j}, func() (any, error) {
+		return s.compose(i, j)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*delta.Delta), nil
+}
+
+// compose folds the stored chain (i, j] into one delta.
+func (s *Store) compose(i, j int) (*delta.Delta, error) {
+	var span obs.Span
+	if s.met != nil {
+		span = s.met.compose.Start()
+	}
+	s.mu.RLock()
 	chain := make([]*delta.Delta, 0, j-i)
 	for k := i + 1; k <= j; k++ {
 		chain = append(chain, s.releases[k].d)
 	}
-	return delta.ComposeChain(chain...)
+	s.mu.RUnlock()
+	d, err := delta.ComposeChain(chain...)
+	if s.met != nil {
+		span.End()
+	}
+	return d, err
 }
 
 // InPlaceDeltaTo returns a direct, in-place reconstructible delta from
 // version i to the newest version, composed from the chain and converted
 // with the given policy.
 func (s *Store) InPlaceDeltaTo(i int, policy graph.Policy) (*delta.Delta, *inplace.Stats, error) {
-	head := len(s.releases) - 1
+	head := s.NumVersions() - 1
 	d, err := s.DeltaBetween(i, head)
 	if err != nil {
 		return nil, nil, err
@@ -163,7 +310,7 @@ func (s *Store) InPlaceDeltaTo(i int, policy graph.Policy) (*delta.Delta, *inpla
 // converted for in-place application. Devices use it to downgrade without
 // the server storing backward deltas.
 func (s *Store) RollbackDelta(i int, policy graph.Policy) (*delta.Delta, *inplace.Stats, error) {
-	head := len(s.releases) - 1
+	head := s.NumVersions() - 1
 	forward, err := s.DeltaBetween(i, head)
 	if err != nil {
 		return nil, nil, err
@@ -187,6 +334,8 @@ func (s *Store) RollbackDelta(i int, policy graph.Policy) (*delta.Delta, *inplac
 // every stored delta in the ordered wire format — the space a delta-chain
 // store saves over full copies.
 func (s *Store) StorageBytes() (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	total := int64(len(s.base))
 	for _, r := range s.releases[1:] {
 		n, err := codec.EncodedSize(r.d, codec.FormatOrdered)
@@ -201,6 +350,8 @@ func (s *Store) StorageBytes() (int64, error) {
 // FullBytes returns the total size of all versions stored as full copies,
 // for comparison against StorageBytes.
 func (s *Store) FullBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var total int64
 	for _, r := range s.releases {
 		total += r.length
@@ -214,6 +365,8 @@ var storeMagic = [4]byte{'I', 'P', 'S', 'T'}
 // Save serializes the store: magic, version count, base image, then each
 // delta in the ordered wire format.
 func (s *Store) Save() ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var buf bytes.Buffer
 	buf.Write(storeMagic[:])
 	writeUvarint(&buf, uint64(len(s.releases)))
