@@ -110,6 +110,8 @@ var (
 
 // UvarintLen returns the number of bytes binary.PutUvarint uses for v.
 // It is the |f| term of the paper's cost function cost(v) = l − |f|.
+//
+//ipvet:allocfree
 func UvarintLen(v uint64) int {
 	n := 1
 	for v >= 0x80 {
@@ -120,6 +122,8 @@ func UvarintLen(v uint64) int {
 }
 
 // VarintLen returns the encoded size of v as a zig-zag signed varint.
+//
+//ipvet:allocfree
 func VarintLen(v int64) int {
 	var buf [binary.MaxVarintLen64]byte
 	return binary.PutVarint(buf[:], v)

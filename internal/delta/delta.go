@@ -63,12 +63,16 @@ type Command struct {
 }
 
 // NewCopy returns a copy command ⟨from, to, length⟩.
+//
+//ipvet:allocfree
 func NewCopy(from, to, length int64) Command {
 	return Command{Op: OpCopy, From: from, To: to, Length: length}
 }
 
 // NewAdd returns an add command writing data at offset to. The data slice
 // is used directly; callers must not alias it afterwards.
+//
+//ipvet:allocfree
 func NewAdd(to int64, data []byte) Command {
 	return Command{Op: OpAdd, To: to, Length: int64(len(data)), Data: data}
 }

@@ -93,6 +93,8 @@ type emitter struct {
 }
 
 // reset empties the emitter for a fresh diff, retaining backing capacity.
+//
+//ipvet:allocfree
 func (e *emitter) reset() {
 	e.cmds = e.cmds[:0]
 	e.lits = e.lits[:0]
@@ -101,12 +103,16 @@ func (e *emitter) reset() {
 }
 
 // literal appends version bytes that found no match.
+//
+//ipvet:allocfree
 func (e *emitter) literal(b []byte) {
 	e.lits = append(e.lits, b...)
 }
 
 // flushAdd records the pending literal run as one add command. The command
 // holds the run's arena offset in From until finish materializes it.
+//
+//ipvet:allocfree
 func (e *emitter) flushAdd() {
 	run := int64(len(e.lits)) - e.litStart
 	if run == 0 {
@@ -118,6 +124,8 @@ func (e *emitter) flushAdd() {
 }
 
 // copyCmd emits a copy of length l from reference offset from.
+//
+//ipvet:allocfree
 func (e *emitter) copyCmd(from int64, l int64) {
 	e.flushAdd()
 	e.cmds = append(e.cmds, delta.NewCopy(from, e.at, l))
@@ -140,6 +148,8 @@ func (e *emitter) finish() []delta.Command {
 // finishReuse flushes trailing literals and returns the emitter's own
 // command list, with add data aliasing the emitter's literal arena. The
 // result is valid only until the emitter's next reset.
+//
+//ipvet:allocfree
 func (e *emitter) finishReuse() []delta.Command {
 	e.flushAdd()
 	resolveAdds(e.cmds, e.lits)
@@ -148,6 +158,8 @@ func (e *emitter) finishReuse() []delta.Command {
 
 // resolveAdds rewrites each add's stashed arena offset (in From) into a
 // capacity-bounded sub-slice of the arena.
+//
+//ipvet:allocfree
 func resolveAdds(cmds []delta.Command, arena []byte) {
 	for k := range cmds {
 		if cmds[k].Op != delta.OpAdd {
@@ -161,6 +173,8 @@ func resolveAdds(cmds []delta.Command, arena []byte) {
 
 // matchForward returns the length of the common prefix of ref[r:] and
 // version[v:].
+//
+//ipvet:allocfree
 func matchForward(ref, version []byte, r, v int) int {
 	n := 0
 	for r+n < len(ref) && v+n < len(version) && ref[r+n] == version[v+n] {
@@ -171,6 +185,8 @@ func matchForward(ref, version []byte, r, v int) int {
 
 // matchBackward returns how many bytes before ref[r] and version[v] agree,
 // looking back at most maxBack bytes.
+//
+//ipvet:allocfree
 func matchBackward(ref, version []byte, r, v, maxBack int) int {
 	n := 0
 	for n < maxBack && r-n-1 >= 0 && v-n-1 >= 0 && ref[r-n-1] == version[v-n-1] {

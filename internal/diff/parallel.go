@@ -105,6 +105,8 @@ type segment struct {
 }
 
 // run executes the segment's current job and signals completion.
+//
+//ipvet:allocfree
 func (sg *segment) run() {
 	switch sg.job {
 	case jobBuild:
@@ -251,6 +253,8 @@ func (pl *Parallel) run(st *parallelState, ref, version []byte, wp *workerPool) 
 // both source and destination (a match or literal run the segment split).
 // Add commands still carry arena offsets in From; the caller resolves
 // them. Returns the merged command count delta for observability.
+//
+//ipvet:allocfree
 func stitch(segs []segment, cmds []delta.Command, arena []byte) ([]delta.Command, []byte, int) {
 	merges := 0
 	for i := range segs {

@@ -49,6 +49,8 @@ func (g *CSR) NumEdges() int { return len(g.edges) }
 
 // Succ implements Graph. The returned slice aliases the CSR's edge array
 // and must not be modified.
+//
+//ipvet:allocfree
 func (g *CSR) Succ(u int) []int32 { return g.edges[g.row[u]:g.row[u+1]] }
 
 // CSRBuilder constructs CSR digraphs in the classic two passes — declare
@@ -82,10 +84,14 @@ func (b *CSRBuilder) Reset(n int) {
 }
 
 // CountEdge declares one future edge out of u (first pass).
+//
+//ipvet:allocfree
 func (b *CSRBuilder) CountEdge(u int) { b.next[u]++ }
 
 // AddDegree declares k future edges out of u (first pass). It lets callers
 // that already know a vertex's out-degree skip per-edge counting.
+//
+//ipvet:allocfree
 func (b *CSRBuilder) AddDegree(u, k int) { b.next[u] += int32(k) }
 
 // StartFill freezes the declared degrees into the row table and prepares
@@ -109,6 +115,8 @@ func (b *CSRBuilder) StartFill() {
 
 // FillEdge records the edge u→v (second pass). Edges out of the same u are
 // stored in the order they are filled.
+//
+//ipvet:allocfree
 func (b *CSRBuilder) FillEdge(u, v int) {
 	b.g.edges[b.next[u]] = int32(v)
 	b.next[u]++

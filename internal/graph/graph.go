@@ -38,6 +38,8 @@ func (g *Digraph) AddEdge(u, v int) {
 
 // Succ returns the successor list of u. The returned slice is owned by the
 // digraph and must not be modified.
+//
+//ipvet:allocfree
 func (g *Digraph) Succ(u int) []int32 { return g.adj[u] }
 
 // HasEdge reports whether the edge u→v exists. It scans u's adjacency list

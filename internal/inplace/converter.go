@@ -161,6 +161,8 @@ func (cv *Converter) BuildCRWI(d *delta.Delta) (copies, edges int, err error) {
 }
 
 // partition splits d's commands into the copy and add scratch slices.
+//
+//ipvet:allocfree
 func (cv *Converter) partition(d *delta.Delta) {
 	cv.copies, cv.adds = cv.copies[:0], cv.adds[:0]
 	for _, c := range d.Commands {
@@ -174,6 +176,8 @@ func (cv *Converter) partition(d *delta.Delta) {
 
 // commandsByWriteOffset orders commands by increasing write offset. Write
 // intervals of a valid delta are disjoint, so the order is strict.
+//
+//ipvet:allocfree
 func commandsByWriteOffset(a, b delta.Command) int { return cmp.Compare(a.To, b.To) }
 
 func (cv *Converter) convert(d *delta.Delta, ref []byte, detach bool) (*delta.Delta, *Stats, error) {

@@ -42,9 +42,9 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
-func run(pass *analysis.Pass) error {
+func run(pass *analysis.Pass) (any, error) {
 	if !PackagePattern.MatchString(pass.Pkg.Path()) {
-		return nil
+		return nil, nil
 	}
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
@@ -57,7 +57,7 @@ func run(pass *analysis.Pass) error {
 			}
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 // sliceParams returns the parameter objects of fn with slice type

@@ -1,0 +1,373 @@
+// Package allocfree statically enforces the repository's zero-allocation
+// contract. A function carrying the directive
+//
+//	//ipvet:allocfree
+//
+// in its doc comment promises the same thing the AllocsPerRun tests
+// measure: in steady state it performs no heap allocation. The analyzer
+// verifies the promise syntactically — for the annotated function and,
+// through the call graph and exported facts, for every static callee it
+// reaches, in this package or any dependency analyzed earlier.
+//
+// Flagged allocation sites:
+//
+//   - &T{...}, []T{...}, map literals — escaping composite literals
+//     (plain struct/array value literals are stack-friendly and allowed)
+//   - make, new — slice/map/chan/pointer creation
+//   - append(x, ...) whose result is assigned to anything other than x
+//     itself; the self-append x = append(x, ...) is the amortized
+//     capacity-reuse idiom the AllocsPerRun contract permits, so it is
+//     allowed
+//   - string(b), []byte(s), []rune(s) — converting between strings and
+//     byte/rune slices copies
+//   - explicit conversions to an interface type — boxing
+//   - s + t on strings — concatenation allocates
+//   - function literals, unless immediately invoked or passed directly
+//     as a call argument (the sort.Search/defer idiom the compiler can
+//     keep on the stack when the callee does not retain it)
+//   - go statements — a new goroutine is never allocation-free
+//
+// Call sites: a static call to a function in the module is resolved
+// through its summary (computed bottom-up over call-graph SCCs in this
+// package, or imported as an AllocFact from a dependency). A call into a
+// package outside the module is trusted except for the deny-listed
+// allocation-heavy packages (fmt, errors, regexp, reflect, strconv).
+// Dynamic calls — function values, interface methods — are trusted; that
+// is the analyzer's documented soundness limit, shared with the lexical
+// locksafe check.
+package allocfree
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"ipdelta/internal/lint/analysis"
+	"ipdelta/internal/lint/passes/callgraph"
+)
+
+// Directive is the doc-comment marker that opts a function into the
+// zero-allocation contract.
+const Directive = "//ipvet:allocfree"
+
+// denied lists external packages whose every call is assumed to allocate.
+var denied = map[string]bool{
+	"fmt": true, "errors": true, "regexp": true, "reflect": true, "strconv": true,
+}
+
+// AllocFact is the exported per-function summary: whether the function is
+// allocation-free, and if not, one human-readable reason (the first
+// allocation site, with its position formatted into the string so the
+// reason survives the gob trip across packages).
+type AllocFact struct {
+	Free   bool
+	Reason string
+}
+
+// AFact marks AllocFact as a Fact.
+func (*AllocFact) AFact() {}
+
+// Analyzer is the allocfree analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc: "verifies that //ipvet:allocfree functions and their transitive " +
+		"static callees contain no allocation sites",
+	Requires:  []*analysis.Analyzer{callgraph.Analyzer},
+	FactTypes: []analysis.Fact{(*AllocFact)(nil)},
+	Run:       run,
+}
+
+// site is one allocation found in a function body.
+type site struct {
+	pos token.Pos
+	msg string
+}
+
+// summary is the per-function analysis state while the package is in
+// flight.
+type summary struct {
+	sites []site // local allocation sites, source order
+	free  bool
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	cg := pass.ResultOf[callgraph.Analyzer].(*callgraph.Result)
+
+	annotated := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !hasDirective(fd.Doc) {
+				continue
+			}
+			if fn, ok := pass.ObjectOf(fd.Name).(*types.Func); ok {
+				annotated[fn] = fd
+			}
+		}
+	}
+
+	// Bottom-up over SCCs: local sites first, then callee effects, with a
+	// fixpoint inside each component for mutual recursion.
+	summaries := map[*types.Func]*summary{}
+	for _, comp := range cg.BottomUp {
+		for _, node := range comp {
+			s := &summary{sites: localSites(pass, node.Decl)}
+			summaries[node.Obj] = s
+		}
+		inComp := map[*types.Func]bool{}
+		for _, node := range comp {
+			inComp[node.Obj] = true
+		}
+		// Effects of callees outside the component are final already.
+		for _, node := range comp {
+			s := summaries[node.Obj]
+			for _, call := range node.Static {
+				if inComp[call.Callee] {
+					continue
+				}
+				if reason, allocs := calleeAllocates(pass, summaries, call.Callee); allocs {
+					s.sites = append(s.sites, site{pos: call.Pos, msg: reason})
+				}
+			}
+		}
+		// Within the component, propagate until stable: a member that
+		// allocates makes every member calling it allocate too.
+		for changed := true; changed; {
+			changed = false
+			for _, node := range comp {
+				s := summaries[node.Obj]
+				if len(s.sites) > 0 {
+					continue
+				}
+				for _, call := range node.Static {
+					if !inComp[call.Callee] {
+						continue
+					}
+					cs := summaries[call.Callee]
+					if len(cs.sites) > 0 {
+						s.sites = append(s.sites, site{
+							pos: call.Pos,
+							msg: calleeReason(pass, call.Callee, cs.sites[0]),
+						})
+						changed = true
+						break
+					}
+				}
+			}
+		}
+		for _, node := range comp {
+			s := summaries[node.Obj]
+			s.free = len(s.sites) == 0
+			sort.Slice(s.sites, func(i, j int) bool { return s.sites[i].pos < s.sites[j].pos })
+			fact := &AllocFact{Free: s.free}
+			if !s.free {
+				fact.Reason = s.sites[0].msg
+			}
+			pass.ExportObjectFact(node.Obj, fact)
+		}
+	}
+
+	// Report every allocation site of every annotated function at the
+	// site itself, so the finding points at the line to fix.
+	for fn, fd := range annotated {
+		s := summaries[fn]
+		if s == nil || s.free {
+			continue
+		}
+		for _, st := range s.sites {
+			pass.Reportf(st.pos, "%s is marked //ipvet:allocfree but %s", fd.Name.Name, st.msg)
+		}
+	}
+	return nil, nil
+}
+
+// hasDirective reports whether the doc comment carries the allocfree
+// marker on a line of its own.
+func hasDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := c.Text
+		if text == Directive {
+			return true
+		}
+		if rest, ok := strings.CutPrefix(text, Directive); ok &&
+			(rest[0] == ' ' || rest[0] == '\t') {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeAllocates resolves the allocation status of a static callee that
+// is not in the current SCC: same-package callees by summary, dependency
+// callees by imported fact, external callees by the deny list.
+func calleeAllocates(pass *analysis.Pass, summaries map[*types.Func]*summary, callee *types.Func) (string, bool) {
+	if s, ok := summaries[callee]; ok {
+		if len(s.sites) > 0 {
+			return calleeReason(pass, callee, s.sites[0]), true
+		}
+		return "", false
+	}
+	var fact AllocFact
+	if pass.ImportObjectFact(callee, &fact) {
+		if !fact.Free {
+			return "calls " + callee.Name() + " which allocates: " + fact.Reason, true
+		}
+		return "", false
+	}
+	if pkg := callee.Pkg(); pkg != nil && denied[pkg.Path()] {
+		return "calls " + pkg.Path() + "." + callee.Name() + ", an allocation-heavy package", true
+	}
+	return "", false
+}
+
+// calleeReason renders the reason a same-package callee allocates,
+// embedding the site position so the message is useful after the fact
+// crosses a package boundary.
+func calleeReason(pass *analysis.Pass, callee *types.Func, st site) string {
+	return "calls " + callee.Name() + " which allocates (" +
+		pass.Fset.Position(st.pos).String() + ": " + st.msg + ")"
+}
+
+// localSites returns the allocation sites lexically inside fd, including
+// inside its function literals (their effects belong to the encloser's
+// dynamic extent).
+func localSites(pass *analysis.Pass, fd *ast.FuncDecl) []site {
+	var sites []site
+	add := func(pos token.Pos, msg string) {
+		sites = append(sites, site{pos: pos, msg: msg})
+	}
+	// Function literals immediately invoked or passed directly as call
+	// arguments are permitted; ast.Inspect visits a CallExpr before its
+	// children, so mark them as allowed on the way down.
+	allowedLit := map[*ast.FuncLit]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if fl, ok := ast.Unparen(e.Fun).(*ast.FuncLit); ok {
+				allowedLit[fl] = true
+			}
+			for _, arg := range e.Args {
+				if fl, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					allowedLit[fl] = true
+				}
+			}
+			checkCallSites(pass, e, add)
+		case *ast.FuncLit:
+			if !allowedLit[e] {
+				add(e.Pos(), "creates an escaping function literal")
+			}
+		case *ast.CompositeLit:
+			checkCompositeLit(pass, e, add)
+		case *ast.AssignStmt:
+			checkAppends(pass, e, add)
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					add(e.Pos(), "heap-allocates a composite literal with &")
+				}
+			}
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD && isString(pass.TypeOf(e)) {
+				add(e.Pos(), "concatenates strings")
+			}
+		case *ast.GoStmt:
+			add(e.Pos(), "starts a goroutine")
+		}
+		return true
+	})
+	sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+	return sites
+}
+
+// checkCallSites flags make/new, string conversions, and interface boxing
+// — the allocation forms spelled as calls.
+func checkCallSites(pass *analysis.Pass, call *ast.CallExpr, add func(token.Pos, string)) {
+	fun := ast.Unparen(call.Fun)
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := pass.ObjectOf(id).(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				add(call.Pos(), "calls make")
+			case "new":
+				add(call.Pos(), "calls new")
+			}
+			return
+		}
+	}
+	tv, ok := pass.TypesInfo.Types[fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	dst, src := tv.Type, pass.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	switch {
+	case isString(dst) && isByteOrRuneSlice(src):
+		add(call.Pos(), "converts a byte slice to a string")
+	case isByteOrRuneSlice(dst) && isString(src):
+		add(call.Pos(), "converts a string to a byte slice")
+	case types.IsInterface(dst) && !types.IsInterface(src):
+		add(call.Pos(), "boxes a value into an interface")
+	}
+}
+
+// checkCompositeLit flags literals that reach the heap: pointers to
+// literals, and slice/map literals. Plain struct and array values are
+// allowed.
+func checkCompositeLit(pass *analysis.Pass, lit *ast.CompositeLit, add func(token.Pos, string)) {
+	t := pass.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		add(lit.Pos(), "builds a slice literal")
+	case *types.Map:
+		add(lit.Pos(), "builds a map literal")
+	}
+}
+
+// checkAppends flags append calls that are not the self-append idiom
+// x = append(x, ...).
+func checkAppends(pass *analysis.Pass, as *ast.AssignStmt, add func(token.Pos, string)) {
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "append" {
+			continue
+		}
+		if b, ok := pass.ObjectOf(id).(*types.Builtin); !ok || b.Name() != "append" {
+			continue
+		}
+		if i < len(as.Lhs) && len(as.Rhs) == len(as.Lhs) &&
+			types.ExprString(ast.Unparen(as.Lhs[i])) == types.ExprString(ast.Unparen(call.Args[0])) {
+			continue // x = append(x, ...): amortized growth, allowed
+		}
+		add(call.Pos(), "grows a slice with append into a different variable")
+	}
+}
+
+// isString reports whether t's underlying type is string.
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isByteOrRuneSlice reports whether t is []byte or []rune.
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,15 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"ipdelta/internal/lint/allocfree"
+	"ipdelta/internal/lint/analysistest"
+)
+
+func TestAllocFree(t *testing.T) {
+	// "allocdep" is analyzed first as a dependency, so "hotpath" sees its
+	// exported AllocFacts; the cross-package cases in the fixture rely on
+	// the analyzer never re-walking allocdep's bodies.
+	analysistest.Run(t, allocfree.Analyzer, "hotpath", "allocdep")
+}

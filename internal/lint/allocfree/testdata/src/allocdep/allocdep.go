@@ -1,0 +1,19 @@
+// Test dependency package for allocfree: exports one allocation-free
+// function and one allocating function, so the target package exercises
+// imported AllocFacts in both directions. No function here is annotated,
+// so the package itself produces no diagnostics.
+package allocdep
+
+// Sum is allocation-free; its exported fact says so.
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Grow allocates; its exported fact carries the reason.
+func Grow(n int) []int {
+	return make([]int, n)
+}

@@ -1,9 +1,14 @@
 // Package analysis is a self-contained miniature of the
 // golang.org/x/tools/go/analysis API, built only on the standard library's
 // go/ast and go/types. The container this repository grows in has no module
-// proxy access, so rather than vendoring x/tools we implement the small
-// surface the ipvet analyzers need: an Analyzer descriptor, a per-package
-// Pass carrying syntax plus type information, and positional Diagnostics.
+// proxy access, so rather than vendoring x/tools we implement the surface
+// the ipvet analyzers need: an Analyzer descriptor with Requires/ResultOf
+// dependency passes, a per-package Pass carrying syntax plus type
+// information, positional Diagnostics with optional SuggestedFixes, and
+// Facts — gob-serialized values attached to objects or packages that flow
+// to downstream packages in the loader's dependency order, which is what
+// makes interprocedural analyzers (allocfree, lockorder, atomicmix)
+// possible.
 //
 // The shape deliberately mirrors x/tools so the analyzers can be ported to
 // the real framework by changing one import if the dependency ever becomes
@@ -23,18 +28,75 @@ type Analyzer struct {
 	// "//ipvet:ignore <name>" suppression comments. It must be a valid
 	// Go identifier.
 	Name string
-	// Doc is the one-paragraph description shown by `ipvet -help`.
+	// Doc is the one-paragraph description shown by `ipvet -list`.
 	Doc string
+	// Requires lists analyzers that must run before this one on the same
+	// package; their results are available through Pass.ResultOf. The
+	// graph formed by Requires must be acyclic.
+	Requires []*Analyzer
+	// FactTypes lists the concrete fact types this analyzer may export.
+	// Each must be a pointer type implementing Fact; the checker
+	// registers them with gob so facts serialize across packages. An
+	// analyzer that declares no fact types cannot export or import
+	// facts.
+	FactTypes []Fact
 	// Run applies the analyzer to one package. Diagnostics are delivered
 	// through pass.Report; the error return is for operational failures
-	// (not findings).
-	Run func(pass *Pass) error
+	// (not findings). The first return value is the analyzer's result,
+	// exposed to dependents via Pass.ResultOf (nil when the analyzer
+	// computes none).
+	Run func(pass *Pass) (any, error)
 }
 
-// Diagnostic is one finding at a source position.
-type Diagnostic struct {
+// Fact is a value attached to an object or package by one analyzer and
+// visible to the same analyzer when it later processes packages that
+// depend on the fact's owner. Facts must be pointers to gob-serializable
+// types: the checker round-trips every exported fact through gob, both to
+// enforce the contract and so downstream packages observe a decoded copy
+// rather than shared mutable state (the same discipline x/tools' separate
+// compilation imposes).
+type Fact interface {
+	// AFact is a marker method; it has no behaviour.
+	AFact()
+}
+
+// ObjectFact is one (object, fact) pair, as returned by AllObjectFacts.
+type ObjectFact struct {
+	Object types.Object
+	Fact   Fact
+}
+
+// PackageFact is one (package, fact) pair, as returned by AllPackageFacts.
+type PackageFact struct {
+	Package *types.Package
+	Fact    Fact
+}
+
+// TextEdit replaces the source text in [Pos, End) with NewText. Pos == End
+// inserts.
+type TextEdit struct {
 	Pos     token.Pos
-	Message string
+	End     token.Pos
+	NewText []byte
+}
+
+// SuggestedFix is one self-contained repair for a diagnostic: a set of
+// non-overlapping textual edits that `ipvet -fix` applies mechanically.
+// Fixes must be idempotent in the sense that the repaired source no longer
+// triggers the diagnostic, so a second -fix run is a no-op.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// Diagnostic is one finding at a source position. End, when set, marks the
+// extent of the offending source range (used by -json consumers and fix
+// tooling); a zero End means "just Pos".
+type Diagnostic struct {
+	Pos            token.Pos
+	End            token.Pos
+	Message        string
+	SuggestedFixes []SuggestedFix
 }
 
 // Pass carries everything an analyzer may inspect about one package.
@@ -45,14 +107,39 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// ResultOf maps each analyzer in Analyzer.Requires to its result for
+	// this package.
+	ResultOf map[*Analyzer]any
+
 	// Report delivers one diagnostic. The driver installs this; analyzers
 	// normally use Reportf.
 	Report func(Diagnostic)
+
+	// The fact API. All four are installed by the checker; they panic if
+	// the analyzer declared no FactTypes. ImportObjectFact copies the
+	// fact recorded for obj (by this analyzer, in this or any dependency
+	// package) into the pointer fact and reports whether one existed;
+	// ExportObjectFact records one. The package-level pair does the same
+	// for whole-package facts; AllPackageFacts returns every package
+	// fact this analyzer exported in the packages processed so far —
+	// with the checker's dependency-order scheduling, that is exactly
+	// the facts of the current package's transitive dependencies.
+	ImportObjectFact  func(obj types.Object, fact Fact) bool
+	ExportObjectFact  func(obj types.Object, fact Fact)
+	ImportPackageFact func(pkg *types.Package, fact Fact) bool
+	ExportPackageFact func(fact Fact)
+	AllObjectFacts    func() []ObjectFact
+	AllPackageFacts   func() []PackageFact
 }
 
 // Reportf reports a formatted diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ReportRangef reports a formatted diagnostic covering [pos, end).
+func (p *Pass) ReportRangef(pos, end token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, End: end, Message: fmt.Sprintf(format, args...)})
 }
 
 // TypeOf returns the type of e, or nil if unknown.

@@ -1,99 +1,175 @@
-// Package analysistest runs an analyzer over a self-contained testdata
-// package and checks its diagnostics against // want comments, mirroring
+// Package analysistest runs an analyzer over self-contained testdata
+// packages and checks its diagnostics against // want comments, mirroring
 // golang.org/x/tools/go/analysis/analysistest on top of the offline
-// loader.
+// loader and the interprocedural checker.
 //
 // A test package lives in testdata/src/<name>/ under the analyzer's
 // directory. Each line that should be flagged carries a trailing comment
 //
 //	x := int(v) // want `narrowing conversion`
 //
-// with one backquoted or quoted regular expression per expected
-// diagnostic on that line. Lines without a want comment must produce no
+// with one backquoted or double-quoted regular expression per expected
+// diagnostic on that line — a line may carry several, one per expected
+// diagnostic. The double-quoted form passes through strconv.Unquote, so
+// messages containing regex metacharacters can be escaped literally
+// ("\\[\\]byte"). Lines without a want comment must produce no
 // diagnostics.
+//
+// Fixtures may span packages: Run's deps arguments name sibling testdata
+// packages registered as import overlays, so the target package can
+// import them by bare name and fact-carrying analyzers see a real
+// dependency edge. The dependency packages' own want comments are checked
+// too — an interprocedural analyzer may legitimately report on either
+// side of the edge.
+//
+// RunWithFixes additionally applies every suggested fix and compares the
+// result against <file>.golden, byte for byte.
 package analysistest
 
 import (
 	"fmt"
-	"go/token"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strconv"
 	"strings"
 	"testing"
 
 	"ipdelta/internal/lint/analysis"
+	"ipdelta/internal/lint/checker"
 	"ipdelta/internal/lint/loader"
 )
 
 var wantRE = regexp.MustCompile("(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
 
 type expectation struct {
+	pos     string // file:line
 	re      *regexp.Regexp
 	matched bool
 }
 
+// Outcome is the raw result of one fixture run: the surviving diagnostics
+// and the list of mismatches between them and the fixture's expectations.
+// Problems is empty exactly when the run passes.
+type Outcome struct {
+	Diagnostics []checker.Diagnostic
+	Problems    []string
+}
+
 // Run applies a to testdata/src/<pkgname> (relative to the test's working
-// directory, i.e. the analyzer package) and reports mismatches through t.
-func Run(t *testing.T, a *analysis.Analyzer, pkgname string) {
+// directory, i.e. the analyzer package), with each deps entry overlaid as
+// an importable sibling package, and reports mismatches through t.
+func Run(t *testing.T, a *analysis.Analyzer, pkgname string, deps ...string) *Outcome {
 	t.Helper()
-	l, err := loader.New(".")
+	out, err := Check(".", a, pkgname, deps...)
 	if err != nil {
-		t.Fatalf("loader: %v", err)
+		t.Fatalf("analysistest: %v", err)
 	}
-	pkg, err := l.LoadDir("testdata/src/"+pkgname, pkgname)
+	for _, p := range out.Problems {
+		t.Errorf("%s", p)
+	}
+	return out
+}
+
+// RunWithFixes is Run plus fix verification: every diagnostic's suggested
+// fixes are applied (first fix per diagnostic, overlaps skipped) and each
+// changed file must equal its checked-in <file>.golden.
+func RunWithFixes(t *testing.T, a *analysis.Analyzer, pkgname string, deps ...string) {
+	t.Helper()
+	out := Run(t, a, pkgname, deps...)
+	perFile, _, _ := checker.SelectEdits(out.Diagnostics)
+	if len(perFile) == 0 {
+		t.Errorf("RunWithFixes: analyzer %s produced no suggested fixes for %s", a.Name, pkgname)
+		return
+	}
+	for file, edits := range perFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("read %s: %v", file, err)
+		}
+		fixed, err := checker.ApplyEdits(src, edits)
+		if err != nil {
+			t.Fatalf("apply fixes to %s: %v", file, err)
+		}
+		golden, err := os.ReadFile(file + ".golden")
+		if err != nil {
+			t.Fatalf("missing golden file for %s: %v", file, err)
+		}
+		if string(fixed) != string(golden) {
+			t.Errorf("fixed %s does not match %s.golden:\n-- got --\n%s\n-- want --\n%s",
+				filepath.Base(file), filepath.Base(file), fixed, golden)
+		}
+	}
+}
+
+// Check is the assertion core: it loads the fixture packages, runs the
+// analyzer through the interprocedural checker (dependency order, facts,
+// Requires passes, ignore suppression), and compares diagnostics against
+// want comments. Mismatches land in Outcome.Problems rather than a
+// *testing.T, so the failure modes themselves are testable.
+func Check(dir string, a *analysis.Analyzer, pkgname string, deps ...string) (*Outcome, error) {
+	l, err := loader.New(dir)
 	if err != nil {
-		t.Fatalf("load %s: %v", pkgname, err)
+		return nil, err
+	}
+	names := append(append([]string(nil), deps...), pkgname)
+	for _, name := range names {
+		l.AddOverlay(name, filepath.Join(dir, "testdata/src", name))
+	}
+	var pkgs []*loader.Package
+	for _, name := range names {
+		pkg, err := l.LoadDir(filepath.Join(dir, "testdata/src", name), name)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", name, err)
+		}
+		pkgs = append(pkgs, pkg)
 	}
 
-	// Collect // want expectations per "file:line".
-	wants := map[string][]*expectation{}
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				idx := strings.Index(text, "want ")
-				if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
-					continue
-				}
-				key := lineKey(pkg.Fset, c.Pos())
-				for _, q := range wantRE.FindAllString(text[idx+len("want "):], -1) {
-					pattern := q[1 : len(q)-1]
-					if q[0] == '"' {
-						if p, err := strconv.Unquote(q); err == nil {
-							pattern = p
+	var wants []*expectation
+	byLine := map[string][]*expectation{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					idx := strings.Index(text, "want ")
+					if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+						continue
+					}
+					p := pkg.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+					for _, q := range wantRE.FindAllString(text[idx+len("want "):], -1) {
+						pattern := q[1 : len(q)-1]
+						if q[0] == '"' {
+							unq, err := strconv.Unquote(q)
+							if err != nil {
+								return nil, fmt.Errorf("%s: bad want string %s: %w", key, q, err)
+							}
+							pattern = unq
 						}
+						re, err := regexp.Compile(pattern)
+						if err != nil {
+							return nil, fmt.Errorf("%s: bad want pattern %s: %w", key, q, err)
+						}
+						e := &expectation{pos: key, re: re}
+						wants = append(wants, e)
+						byLine[key] = append(byLine[key], e)
 					}
-					re, err := regexp.Compile(pattern)
-					if err != nil {
-						t.Fatalf("%s: bad want pattern %s: %v", key, q, err)
-					}
-					wants[key] = append(wants[key], &expectation{re: re})
 				}
 			}
 		}
 	}
 
-	var diags []analysis.Diagnostic
-	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      pkg.Fset,
-		Files:     pkg.Files,
-		Pkg:       pkg.Types,
-		TypesInfo: pkg.TypesInfo,
-		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
-	}
-	if err := a.Run(pass); err != nil {
-		t.Fatalf("analyzer %s: %v", a.Name, err)
+	diags, err := checker.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		return nil, err
 	}
 
+	out := &Outcome{Diagnostics: diags}
 	for _, d := range diags {
-		if pkg.Ignored(a.Name, d.Pos) {
-			continue
-		}
-		key := lineKey(pkg.Fset, d.Pos)
-		exps := wants[key]
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
 		found := false
-		for _, e := range exps {
+		for _, e := range byLine[key] {
 			if !e.matched && e.re.MatchString(d.Message) {
 				e.matched = true
 				found = true
@@ -101,19 +177,15 @@ func Run(t *testing.T, a *analysis.Analyzer, pkgname string) {
 			}
 		}
 		if !found {
-			t.Errorf("%s: unexpected diagnostic: %s", pkg.Fset.Position(d.Pos), d.Message)
+			out.Problems = append(out.Problems,
+				fmt.Sprintf("%s: unexpected diagnostic: %s", d.Pos, d.Message))
 		}
 	}
-	for key, exps := range wants {
-		for _, e := range exps {
-			if !e.matched {
-				t.Errorf("%s: expected diagnostic matching %q, got none", key, e.re)
-			}
+	for _, e := range wants {
+		if !e.matched {
+			out.Problems = append(out.Problems,
+				fmt.Sprintf("%s: expected diagnostic matching %q, got none", e.pos, e.re))
 		}
 	}
-}
-
-func lineKey(fset *token.FileSet, pos token.Pos) string {
-	p := fset.Position(pos)
-	return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+	return out, nil
 }

@@ -1,0 +1,68 @@
+package analysistest_test
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+	"testing"
+
+	"ipdelta/internal/lint/analysis"
+	"ipdelta/internal/lint/analysistest"
+)
+
+// marker is a deterministic test-only analyzer: it reports every "boom"
+// string literal with a message containing regex metacharacters, so the
+// fixtures can exercise both want-pattern forms.
+var marker = &analysis.Analyzer{
+	Name: "marker",
+	Doc:  "reports every \"boom\" string literal (test-only)",
+	Run: func(pass *analysis.Pass) (any, error) {
+		pass.Inspect(func(n ast.Node) bool {
+			if lit, ok := n.(*ast.BasicLit); ok && lit.Kind == token.STRING && lit.Value == `"boom"` {
+				pass.Reportf(lit.Pos(), "string literal %s [lit]", lit.Value)
+			}
+			return true
+		})
+		return nil, nil
+	},
+}
+
+// TestPassingFixture covers the happy path: multiple wants on one line,
+// the double-quoted escaped form, and an //ipvet:ignore suppression that
+// removes both the diagnostic and the need for a want.
+func TestPassingFixture(t *testing.T) {
+	out, err := analysistest.Check(".", marker, "good")
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	for _, p := range out.Problems {
+		t.Errorf("unexpected problem: %s", p)
+	}
+	if len(out.Diagnostics) != 3 {
+		t.Errorf("got %d diagnostics, want 3 (one suppressed)", len(out.Diagnostics))
+	}
+}
+
+// TestMissingExpectation checks the failure mode where a want comment
+// matches no diagnostic.
+func TestMissingExpectation(t *testing.T) {
+	out, err := analysistest.Check(".", marker, "missing")
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if len(out.Problems) != 1 || !strings.Contains(out.Problems[0], "expected diagnostic matching") {
+		t.Errorf("got problems %q, want one unmatched-expectation problem", out.Problems)
+	}
+}
+
+// TestUnexpectedDiagnostic checks the failure mode where a diagnostic has
+// no want comment.
+func TestUnexpectedDiagnostic(t *testing.T) {
+	out, err := analysistest.Check(".", marker, "unmatched")
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if len(out.Problems) != 1 || !strings.Contains(out.Problems[0], "unexpected diagnostic") {
+		t.Errorf("got problems %q, want one unexpected-diagnostic problem", out.Problems)
+	}
+}

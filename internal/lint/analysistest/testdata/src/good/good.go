@@ -1,0 +1,11 @@
+// Fixture where every expectation matches: two diagnostics on one line
+// with two want patterns, a double-quoted pattern escaping the regex
+// metacharacters in the message, and an analyzer-scoped suppression.
+package good
+
+func f() {
+	_ = "boom" // want `string literal .boom. \[lit\]`
+	_, _ = "boom", "boom" // want `boom` "string literal \"boom\" \\[lit\\]"
+	_ = "boom" //ipvet:ignore marker -- suppressed on purpose
+	_ = "fine"
+}

@@ -1,0 +1,8 @@
+// Fixture with an expectation no diagnostic satisfies: the analyzer only
+// reports "boom" literals, so this want must go unmatched.
+package missing
+
+func f() int {
+	n := 1
+	return n // want `string literal`
+}

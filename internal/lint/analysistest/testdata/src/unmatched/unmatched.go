@@ -1,0 +1,6 @@
+// Fixture producing a diagnostic no want comment expects.
+package unmatched
+
+func f() string {
+	return "boom"
+}

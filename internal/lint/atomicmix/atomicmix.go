@@ -1,0 +1,300 @@
+// Package atomicmix flags struct fields that are accessed through
+// sync/atomic in one place and with a plain load or store in another.
+// Mixing the two is the subtle half of a data race: the atomic side
+// establishes that the field is touched concurrently, so every plain
+// access of the same memory is a candidate torn read or lost write — the
+// exact bug class the epoch-tagged Karp–Rabin table in the diff engine
+// walked into when its insert path wrote entries the lookup path read
+// atomically.
+//
+// Granularity matters for slices: atomic access to an element
+// (&x.f[i] passed to atomic.LoadInt64) taints the elements, written
+// x.f[] in diagnostics, while atomic access to the field itself
+// (&x.count) taints the field. A plain x.f[i] read or write, and a
+// clear(x.f) (which writes every element), are flagged under element
+// taint; replacing the slice header (x.f = make(...)) or measuring it
+// (len, cap) is not — header and elements are different memory.
+//
+// Taint is interprocedural: each atomically-accessed field exports an
+// AtomicFact, so a dependency that publishes a field atomically flags the
+// importer's plain access too. Flagged plain reads and writes carry a
+// SuggestedFix (atomic.LoadXxx / atomic.StoreXxx) when the file already
+// imports sync/atomic and the element type maps to an atomic function.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ipdelta/internal/lint/analysis"
+	"ipdelta/internal/lint/passes/inspect"
+)
+
+// AtomicFact marks a struct field as atomically accessed somewhere in the
+// module. Field covers &x.f uses, Elem covers &x.f[i] uses.
+type AtomicFact struct {
+	Field bool
+	Elem  bool
+}
+
+// AFact marks AtomicFact as a Fact.
+func (*AtomicFact) AFact() {}
+
+// Analyzer is the atomicmix analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "flags struct fields accessed both through sync/atomic and with " +
+		"plain loads/stores, a mixed-mode data race",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{(*AtomicFact)(nil)},
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	in := pass.ResultOf[inspect.Analyzer].(*inspect.Inspector)
+
+	// Pass 1: find atomic accesses. atomicArgs collects the &x.f (or
+	// &x.f[i]) operand nodes inside sync/atomic calls so pass 2 can skip
+	// them; taint records which (field, granularity) pairs are atomic.
+	atomicArgs := map[ast.Expr]bool{}
+	type taintKey struct {
+		field *types.Var
+		elem  bool
+	}
+	taint := map[taintKey]bool{}
+	markTaint := func(field *types.Var, elem bool) {
+		taint[taintKey{field, elem}] = true
+		fact := &AtomicFact{}
+		pass.ImportObjectFact(field, fact)
+		if elem {
+			fact.Elem = true
+		} else {
+			fact.Field = true
+		}
+		pass.ExportObjectFact(field, fact)
+	}
+	in.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if !isSyncAtomicCall(pass, call) {
+			return
+		}
+		for _, arg := range call.Args {
+			un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				continue
+			}
+			field, elem, ok := fieldOperand(pass, un.X)
+			if !ok {
+				continue
+			}
+			atomicArgs[un.X] = true
+			markTaint(field, elem)
+		}
+	})
+
+	tainted := func(field *types.Var, elem bool) bool {
+		if taint[taintKey{field, elem}] {
+			return true
+		}
+		fact := &AtomicFact{}
+		if pass.ImportObjectFact(field, fact) {
+			if elem {
+				return fact.Elem
+			}
+			return fact.Field
+		}
+		return false
+	}
+
+	// Pass 2: flag plain accesses of tainted memory. A selector that is
+	// itself an atomic operand, or sits under one (x.f inside &x.f[i]),
+	// is the sanctioned access and is skipped.
+	underAtomic := func(n ast.Node) bool {
+		for m := n; m != nil; m = in.Parent(m) {
+			if e, ok := m.(ast.Expr); ok && atomicArgs[e] {
+				return true
+			}
+		}
+		return false
+	}
+	in.Preorder([]ast.Node{(*ast.SelectorExpr)(nil), (*ast.CallExpr)(nil)}, func(n ast.Node) {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			// clear(x.f) writes every element of the slice.
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+				if b, ok := pass.ObjectOf(id).(*types.Builtin); ok && b.Name() == "clear" && len(e.Args) == 1 {
+					if field, elem, ok := fieldOperand(pass, e.Args[0]); ok && !elem && tainted(field, true) {
+						pass.Reportf(e.Pos(),
+							"clear writes elements of %s plainly, but its elements are accessed with sync/atomic elsewhere",
+							field.Name())
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			field, ok := selectorField(pass, e)
+			if !ok || underAtomic(e) {
+				return
+			}
+			// Element access: the selector is the base of an index
+			// expression, x.f[i].
+			if ix, ok := in.Parent(e).(*ast.IndexExpr); ok && ix.X == e {
+				if tainted(field, true) && !underAtomic(ix) {
+					reportPlain(pass, in, ix, field, field.Name()+"[]")
+				}
+				return
+			}
+			if tainted(field, false) {
+				reportPlain(pass, in, e, field, field.Name())
+			}
+		}
+	})
+	return nil, nil
+}
+
+// reportPlain flags one plain access of tainted memory, attaching an
+// atomic.LoadXxx/StoreXxx rewrite when one applies.
+func reportPlain(pass *analysis.Pass, in *inspect.Inspector, expr ast.Expr, field *types.Var, display string) {
+	isWrite, rhs := writeContext(in, expr)
+	verb := "read"
+	if isWrite {
+		verb = "written"
+	}
+	d := analysis.Diagnostic{
+		Pos: expr.Pos(),
+		End: expr.End(),
+		Message: "field " + display + " is accessed with sync/atomic elsewhere but " +
+			verb + " plainly here; mixed atomic/plain access is a data race",
+	}
+	if fn, ok := atomicFuncFor(elemType(pass, expr)); ok && fileImportsAtomic(pass, expr.Pos()) {
+		if !isWrite {
+			d.SuggestedFixes = []analysis.SuggestedFix{{
+				Message: "load the value with atomic.Load" + fn,
+				TextEdits: []analysis.TextEdit{
+					{Pos: expr.Pos(), End: expr.Pos(), NewText: []byte("atomic.Load" + fn + "(&")},
+					{Pos: expr.End(), End: expr.End(), NewText: []byte(")")},
+				},
+			}}
+		} else if as, ok := in.Parent(expr).(*ast.AssignStmt); ok &&
+			as.Tok == token.ASSIGN && len(as.Lhs) == 1 && len(as.Rhs) == 1 && rhs != nil {
+			// x.f[i] = v  →  atomic.StoreXxx(&x.f[i], v)
+			d.SuggestedFixes = []analysis.SuggestedFix{{
+				Message: "store the value with atomic.Store" + fn,
+				TextEdits: []analysis.TextEdit{
+					{Pos: expr.Pos(), End: expr.Pos(), NewText: []byte("atomic.Store" + fn + "(&")},
+					{Pos: expr.End(), End: rhs.Pos(), NewText: []byte(", ")},
+					{Pos: as.End(), End: as.End(), NewText: []byte(")")},
+				},
+			}}
+		}
+	}
+	pass.Report(d)
+}
+
+// writeContext reports whether expr is the target of an assignment, and
+// if so returns the assigned value.
+func writeContext(in *inspect.Inspector, expr ast.Expr) (bool, ast.Expr) {
+	parent := in.Parent(expr)
+	as, ok := parent.(*ast.AssignStmt)
+	if !ok {
+		if _, ok := parent.(*ast.IncDecStmt); ok {
+			return true, nil
+		}
+		return false, nil
+	}
+	for i, lhs := range as.Lhs {
+		if lhs == expr {
+			if i < len(as.Rhs) {
+				return true, as.Rhs[i]
+			}
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// elemType returns the type of the accessed memory cell.
+func elemType(pass *analysis.Pass, expr ast.Expr) types.Type {
+	return pass.TypeOf(expr)
+}
+
+// atomicFuncFor maps a cell type to the sync/atomic function suffix, or
+// reports false for types atomics cannot carry.
+func atomicFuncFor(t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return "", false
+	}
+	switch b.Kind() {
+	case types.Int32:
+		return "Int32", true
+	case types.Int64:
+		return "Int64", true
+	case types.Uint32:
+		return "Uint32", true
+	case types.Uint64:
+		return "Uint64", true
+	case types.Uintptr:
+		return "Uintptr", true
+	}
+	return "", false
+}
+
+// fileImportsAtomic reports whether the file containing pos already
+// imports sync/atomic; the fix machinery edits text, not import graphs,
+// so a rewrite is only offered where the import exists.
+func fileImportsAtomic(pass *analysis.Pass, pos token.Pos) bool {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			for _, imp := range f.Imports {
+				if imp.Path.Value == `"sync/atomic"` {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	return false
+}
+
+// isSyncAtomicCall reports whether call invokes a function of package
+// sync/atomic (the function forms; the atomic.Int64 method forms carry
+// their own field type and cannot be mixed with plain access).
+func isSyncAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// fieldOperand resolves e to a struct-field access: x.f yields (f,
+// false), x.f[i] yields (f, true).
+func fieldOperand(pass *analysis.Pass, e ast.Expr) (*types.Var, bool, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if f, ok := selectorField(pass, e); ok {
+			return f, false, true
+		}
+	case *ast.IndexExpr:
+		if se, ok := ast.Unparen(e.X).(*ast.SelectorExpr); ok {
+			if f, ok := selectorField(pass, se); ok {
+				return f, true, true
+			}
+		}
+	}
+	return nil, false, false
+}
+
+// selectorField returns the struct field a selector denotes, if any.
+func selectorField(pass *analysis.Pass, sel *ast.SelectorExpr) (*types.Var, bool) {
+	v, ok := pass.ObjectOf(sel.Sel).(*types.Var)
+	if !ok || !v.IsField() {
+		return nil, false
+	}
+	return v, true
+}

@@ -1,0 +1,27 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"ipdelta/internal/lint/analysistest"
+	"ipdelta/internal/lint/atomicmix"
+)
+
+func TestAtomicMix(t *testing.T) {
+	// The counters fixture carries every local mixed-access form and the
+	// golden file checks the atomic.Load/Store rewrites byte for byte.
+	t.Run("fixes", func(t *testing.T) {
+		analysistest.RunWithFixes(t, atomicmix.Analyzer, "counters")
+	})
+	// The mixed fixture reads a field that only its dependency touches
+	// atomically: the taint arrives as an imported fact, and with no
+	// sync/atomic import in the file there is no suggested fix.
+	t.Run("crosspkg", func(t *testing.T) {
+		out := analysistest.Run(t, atomicmix.Analyzer, "mixed", "atomdep")
+		for _, d := range out.Diagnostics {
+			if len(d.Fixes) != 0 {
+				t.Errorf("%s: unexpected suggested fix in a file that does not import sync/atomic", d.Pos)
+			}
+		}
+	})
+}

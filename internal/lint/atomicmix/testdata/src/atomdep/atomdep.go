@@ -1,0 +1,14 @@
+// Test dependency package for atomicmix: publishes Gauge.Val atomically,
+// exporting an AtomicFact the importing package's plain reads trip over.
+// No plain access here, so this package is clean.
+package atomdep
+
+import "sync/atomic"
+
+type Gauge struct {
+	Val int64
+}
+
+func (g *Gauge) Set(v int64) {
+	atomic.StoreInt64(&g.Val, v)
+}

@@ -1,0 +1,72 @@
+// Test package for the atomicmix analyzer: field- and element-granular
+// taint, plain reads and writes with their atomic.Load/Store rewrites,
+// the clear special case, and the header/length operations that touch
+// different memory and stay clean.
+package counters
+
+import "sync/atomic"
+
+type Stats struct {
+	hits  uint64
+	total int64
+	name  string
+	slots []uint64
+}
+
+// Bump is the atomic side: it taints hits and total at field granularity.
+func (s *Stats) Bump() {
+	atomic.AddUint64(&s.hits, 1)
+	atomic.AddInt64(&s.total, 1)
+}
+
+// Publish taints the slots elements (not the slice header).
+func (s *Stats) Publish(i int, v uint64) {
+	atomic.StoreUint64(&s.slots[i], v)
+}
+
+// Plain read of a tainted field; the fix wraps it in atomic.LoadUint64.
+func (s *Stats) Snapshot() uint64 {
+	return s.hits // want `field hits is accessed with sync/atomic elsewhere but read plainly here`
+}
+
+// Plain write of a tainted field; the fix rewrites the assignment to
+// atomic.StoreUint64.
+func (s *Stats) ResetHits() {
+	s.hits = 0 // want `field hits is accessed with sync/atomic elsewhere but written plainly here`
+}
+
+// Element reads and writes under element taint. The double-quoted want
+// form passes through strconv.Unquote, escaping the regex metacharacters
+// in the slots[] display name.
+func (s *Stats) ReadSlot(i int) uint64 {
+	return s.slots[i] // want "field slots\\[\\] is accessed with sync/atomic elsewhere but read plainly here"
+}
+
+func (s *Stats) WriteSlot(i int, v uint64) {
+	s.slots[i] = v // want `field slots\[\] is accessed with sync/atomic elsewhere but written plainly here`
+}
+
+// clear writes every element, so element taint flags it; there is no
+// mechanical atomic rewrite for it.
+func (s *Stats) Wipe() {
+	clear(s.slots) // want `clear writes elements of slots plainly`
+}
+
+// Header and length operations touch the slice header, not the elements:
+// no diagnostics.
+func (s *Stats) Resize(n int) {
+	if len(s.slots) < n {
+		s.slots = make([]uint64, n)
+	}
+}
+
+// name is never accessed atomically, so plain access is fine.
+func (s *Stats) Name() string {
+	return s.name
+}
+
+// An analyzer-scoped suppression silences the finding (and with it the
+// fix).
+func (s *Stats) DebugHits() uint64 {
+	return s.hits //ipvet:ignore atomicmix -- test-only snapshot under the harness's stop-the-world
+}

@@ -1,0 +1,11 @@
+// Test package for atomicmix's cross-package taint: atomdep stores
+// Gauge.Val atomically, so the plain read here is flagged through the
+// imported AtomicFact. The file does not import sync/atomic, so the
+// diagnostic carries no suggested fix.
+package mixed
+
+import "atomdep"
+
+func Read(g *atomdep.Gauge) int64 {
+	return g.Val // want `field Val is accessed with sync/atomic elsewhere but read plainly here`
+}

@@ -1,0 +1,92 @@
+package checker
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ApplyEdits applies byte-offset edits to src and returns the result. The
+// edits must lie within src; overlapping edits are an error (the caller is
+// expected to have filtered conflicts with SelectEdits).
+func ApplyEdits(src []byte, edits []Edit) ([]byte, error) {
+	sorted := append([]Edit(nil), edits...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	var out []byte
+	at := 0
+	for _, e := range sorted {
+		if e.Start < at || e.End < e.Start || e.End > len(src) {
+			return nil, fmt.Errorf("checker: overlapping or out-of-range edit [%d,%d)", e.Start, e.End)
+		}
+		out = append(out, src[at:e.Start]...)
+		out = append(out, e.NewText...)
+		at = e.End
+	}
+	out = append(out, src[at:]...)
+	return out, nil
+}
+
+// SelectEdits flattens the first suggested fix of each diagnostic into a
+// per-file edit set, dropping any fix that overlaps an already-selected
+// edit (first diagnostic wins — diagnostics arrive in source order, so
+// the earlier finding keeps its repair). It returns the per-file edits
+// and the number of fixes selected and skipped.
+func SelectEdits(diags []Diagnostic) (perFile map[string][]Edit, applied, skipped int) {
+	perFile = map[string][]Edit{}
+	overlaps := func(edits []Edit, e Edit) bool {
+		for _, x := range edits {
+			if e.Start < x.End && x.Start < e.End {
+				return true
+			}
+		}
+		return false
+	}
+	for _, d := range diags {
+		if len(d.Fixes) == 0 {
+			continue
+		}
+		fix := d.Fixes[0]
+		conflict := false
+		for _, e := range fix.Edits {
+			if overlaps(perFile[e.File], e) {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			skipped++
+			continue
+		}
+		for _, e := range fix.Edits {
+			perFile[e.File] = append(perFile[e.File], e)
+		}
+		applied++
+	}
+	return perFile, applied, skipped
+}
+
+// ApplyFixes writes every diagnostic's first suggested fix back to the
+// source files, skipping overlapping fixes. It returns the files changed
+// (sorted) and the counts of fixes applied and skipped. Running the
+// analyzers again after ApplyFixes must produce no further edits — fixes
+// remove the pattern that triggered them — which is what makes `ipvet
+// -fix` idempotent.
+func ApplyFixes(diags []Diagnostic) (changed []string, applied, skipped int, err error) {
+	perFile, applied, skipped := SelectEdits(diags)
+	for file, edits := range perFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		fixed, err := ApplyEdits(src, edits)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("%s: %w", file, err)
+		}
+		if err := os.WriteFile(file, fixed, 0o644); err != nil {
+			return nil, 0, 0, err
+		}
+		changed = append(changed, file)
+	}
+	sort.Strings(changed)
+	return changed, applied, skipped, nil
+}

@@ -1,0 +1,79 @@
+package checker
+
+import "testing"
+
+func edit(file string, start, end int, text string) Edit {
+	return Edit{File: file, Start: start, End: end, NewText: []byte(text)}
+}
+
+func TestApplyEdits(t *testing.T) {
+	src := []byte("abcdef")
+	t.Run("replace insert delete", func(t *testing.T) {
+		// Out-of-order input: ApplyEdits sorts by start offset.
+		out, err := ApplyEdits(src, []Edit{
+			edit("f", 4, 5, ""),  // delete "e"
+			edit("f", 0, 1, "A"), // replace "a"
+			edit("f", 3, 3, "_"), // insert before "d"
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := string(out); got != "Abc_df" {
+			t.Errorf("got %q, want %q", got, "Abc_df")
+		}
+	})
+	t.Run("overlap rejected", func(t *testing.T) {
+		if _, err := ApplyEdits(src, []Edit{edit("f", 0, 3, "x"), edit("f", 2, 4, "y")}); err == nil {
+			t.Error("overlapping edits applied without error")
+		}
+	})
+	t.Run("out of range rejected", func(t *testing.T) {
+		if _, err := ApplyEdits(src, []Edit{edit("f", 4, 99, "x")}); err == nil {
+			t.Error("out-of-range edit applied without error")
+		}
+	})
+	t.Run("source unchanged", func(t *testing.T) {
+		if string(src) != "abcdef" {
+			t.Errorf("ApplyEdits mutated its input: %q", src)
+		}
+	})
+}
+
+func TestSelectEdits(t *testing.T) {
+	diag := func(edits ...Edit) Diagnostic {
+		return Diagnostic{Fixes: []Fix{{Message: "fix", Edits: edits}}}
+	}
+	t.Run("first diagnostic wins overlap", func(t *testing.T) {
+		perFile, applied, skipped := SelectEdits([]Diagnostic{
+			diag(edit("a.go", 0, 4, "x")),
+			diag(edit("a.go", 2, 6, "y")), // overlaps the first: skipped
+			diag(edit("a.go", 8, 9, "z")),
+		})
+		if applied != 2 || skipped != 1 {
+			t.Errorf("applied=%d skipped=%d, want 2/1", applied, skipped)
+		}
+		if got := len(perFile["a.go"]); got != 2 {
+			t.Errorf("selected %d edits for a.go, want 2", got)
+		}
+	})
+	t.Run("multi-file fix is atomic", func(t *testing.T) {
+		// A fix whose edits span files is either fully selected or fully
+		// skipped; one conflicting edit drops the whole fix.
+		perFile, applied, skipped := SelectEdits([]Diagnostic{
+			diag(edit("a.go", 0, 4, "x")),
+			diag(edit("b.go", 0, 1, "p"), edit("a.go", 1, 2, "q")),
+		})
+		if applied != 1 || skipped != 1 {
+			t.Errorf("applied=%d skipped=%d, want 1/1", applied, skipped)
+		}
+		if len(perFile["b.go"]) != 0 {
+			t.Errorf("conflicting multi-file fix left %d edits in b.go", len(perFile["b.go"]))
+		}
+	})
+	t.Run("no fixes", func(t *testing.T) {
+		perFile, applied, skipped := SelectEdits([]Diagnostic{{}})
+		if len(perFile) != 0 || applied != 0 || skipped != 0 {
+			t.Errorf("fixless diagnostic selected edits: %v %d %d", perFile, applied, skipped)
+		}
+	})
+}

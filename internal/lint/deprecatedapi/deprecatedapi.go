@@ -19,6 +19,7 @@
 package deprecatedapi
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
 	"regexp"
@@ -31,10 +32,13 @@ import (
 var TargetPattern = regexp.MustCompile(`(^|/)ipdelta$`)
 
 // replacements maps each deprecated function to the option-based call
-// that supersedes it.
-var replacements = map[string]string{
-	"ConvertInPlaceWithPolicy": "ConvertInPlace with WithPolicy(p)",
-	"ConvertInPlaceScratch":    "ConvertInPlace with WithScratchBudget(n)",
+// that supersedes it and the option constructor a -fix rewrite uses.
+var replacements = map[string]struct {
+	doc    string
+	option string
+}{
+	"ConvertInPlaceWithPolicy": {"ConvertInPlace with WithPolicy(p)", "WithPolicy"},
+	"ConvertInPlaceScratch":    {"ConvertInPlace with WithScratchBudget(n)", "WithScratchBudget"},
 }
 
 // Analyzer is the deprecatedapi analyzer.
@@ -45,18 +49,20 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
-func run(pass *analysis.Pass) error {
+func run(pass *analysis.Pass) (any, error) {
 	pass.Inspect(func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
 		var id *ast.Ident
+		qualifier := ""
 		switch fun := ast.Unparen(call.Fun).(type) {
 		case *ast.Ident:
 			id = fun
 		case *ast.SelectorExpr:
 			id = fun.Sel
+			qualifier = types.ExprString(fun.X) + "."
 		default:
 			return true
 		}
@@ -73,9 +79,29 @@ func run(pass *analysis.Pass) error {
 		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
 			return true
 		}
-		pass.Reportf(call.Pos(), "%s.%s is deprecated; use %s",
-			fn.Pkg().Name(), fn.Name(), repl)
+		d := analysis.Diagnostic{
+			Pos: call.Pos(),
+			End: call.End(),
+			Message: fmt.Sprintf("%s.%s is deprecated; use %s",
+				fn.Pkg().Name(), fn.Name(), repl.doc),
+		}
+		// Both shims are ConvertInPlaceX(d, ref, x); the mechanical
+		// rewrite renames the callee and wraps the third argument in the
+		// superseding option, qualified the way the call site qualifies
+		// the shim.
+		if len(call.Args) == 3 {
+			last := call.Args[2]
+			d.SuggestedFixes = []analysis.SuggestedFix{{
+				Message: fmt.Sprintf("call ConvertInPlace with %s(...)", repl.option),
+				TextEdits: []analysis.TextEdit{
+					{Pos: id.Pos(), End: id.End(), NewText: []byte("ConvertInPlace")},
+					{Pos: last.Pos(), End: last.Pos(), NewText: []byte(qualifier + repl.option + "(")},
+					{Pos: last.End(), End: last.End(), NewText: []byte(")")},
+				},
+			}}
+		}
+		pass.Report(d)
 		return true
 	})
-	return nil
+	return nil, nil
 }

@@ -8,5 +8,7 @@ import (
 )
 
 func TestDeprecatedAPI(t *testing.T) {
-	analysistest.Run(t, deprecatedapi.Analyzer, "ipdelta")
+	// RunWithFixes also applies the shim → options rewrites and compares
+	// the result to ipdelta.go.golden.
+	analysistest.RunWithFixes(t, deprecatedapi.Analyzer, "ipdelta")
 }

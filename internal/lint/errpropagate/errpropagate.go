@@ -35,7 +35,7 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
-func run(pass *analysis.Pass) error {
+func run(pass *analysis.Pass) (any, error) {
 	pass.Inspect(func(n ast.Node) bool {
 		switch s := n.(type) {
 		case *ast.ExprStmt:
@@ -49,7 +49,7 @@ func run(pass *analysis.Pass) error {
 		}
 		return true
 	})
-	return nil
+	return nil, nil
 }
 
 // check reports a bare call whose error result vanishes.

@@ -1,24 +1,28 @@
 // Package lint aggregates the project's analyzers and runs them over
-// loaded packages. cmd/ipvet is a thin CLI around this package, and the
-// package's own test runs the full suite over the module, so `go test`
-// enforces the same invariants CI does.
+// loaded packages through the interprocedural checker. cmd/ipvet is a
+// thin CLI around this package, and the package's own test runs the full
+// suite over the module, so `go test` enforces the same invariants CI
+// does.
 package lint
 
 import (
 	"fmt"
-	"go/token"
-	"sort"
 
 	"ipdelta/internal/lint/aliascheck"
+	"ipdelta/internal/lint/allocfree"
 	"ipdelta/internal/lint/analysis"
+	"ipdelta/internal/lint/atomicmix"
+	"ipdelta/internal/lint/checker"
 	"ipdelta/internal/lint/deprecatedapi"
 	"ipdelta/internal/lint/errpropagate"
 	"ipdelta/internal/lint/loader"
+	"ipdelta/internal/lint/lockorder"
 	"ipdelta/internal/lint/locksafe"
 	"ipdelta/internal/lint/offsetsafe"
 )
 
-// All returns every ipvet analyzer.
+// All returns every user-facing ipvet analyzer. Shared passes (inspect,
+// callgraph) are not listed; the checker schedules them through Requires.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		offsetsafe.Analyzer,
@@ -26,57 +30,24 @@ func All() []*analysis.Analyzer {
 		locksafe.Analyzer,
 		errpropagate.Analyzer,
 		deprecatedapi.Analyzer,
+		allocfree.Analyzer,
+		lockorder.Analyzer,
+		atomicmix.Analyzer,
 	}
 }
 
-// Finding is one non-suppressed diagnostic.
-type Finding struct {
-	Analyzer string
-	Pos      token.Position
-	Message  string
-}
+// Finding is one non-suppressed diagnostic with resolved positions and
+// any mechanical fixes.
+type Finding = checker.Diagnostic
 
-func (f Finding) String() string {
+// FindingString renders a finding the way the CLI prints it.
+func FindingString(f Finding) string {
 	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
 }
 
-// Run applies the analyzers to each package and returns the findings in
-// source order, //ipvet:ignore suppressions already applied.
+// Run applies the analyzers to the packages in dependency order, facts
+// flowing across package boundaries, and returns the findings in source
+// order with //ipvet:ignore suppressions already applied.
 func Run(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
-	var findings []Finding
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			pass := &analysis.Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.TypesInfo,
-			}
-			pass.Report = func(d analysis.Diagnostic) {
-				if pkg.Ignored(a.Name, d.Pos) {
-					return
-				}
-				findings = append(findings, Finding{
-					Analyzer: a.Name,
-					Pos:      pkg.Fset.Position(d.Pos),
-					Message:  d.Message,
-				})
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
-			}
-		}
-	}
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i].Pos, findings[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		return findings[i].Analyzer < findings[j].Analyzer
-	})
-	return findings, nil
+	return checker.Run(pkgs, analyzers)
 }

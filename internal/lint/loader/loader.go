@@ -3,6 +3,13 @@
 // golang.org/x/tools/go/packages: files are parsed with go/parser and
 // typechecked with go/types using the compiler's source importer, so the
 // whole pipeline works from a clean checkout with no module proxy.
+//
+// The loader also supports an import-path overlay, mapping synthetic
+// import paths to directories outside the module layout. The analysis
+// tests use it to typecheck multi-package testdata trees — a package
+// "b" in testdata/src/b importing "a" in testdata/src/a — which is what
+// lets the interprocedural analyzers exercise cross-package facts against
+// self-contained fixtures.
 package loader
 
 import (
@@ -37,8 +44,10 @@ type Package struct {
 }
 
 // Ignored reports whether a diagnostic from the named analyzer at pos is
-// suppressed by an //ipvet:ignore comment on the same line or the line
-// directly above.
+// suppressed by an //ipvet:ignore comment covering that line. Suppression
+// is analyzer-scoped: a directive mutes exactly the analyzers it names
+// (or every analyzer, for the explicit "*"), never its neighbours on the
+// same line.
 func (p *Package) Ignored(analyzer string, pos token.Pos) bool {
 	position := p.Fset.Position(pos)
 	names := p.ignores[fmt.Sprintf("%s:%d", position.Filename, position.Line)]
@@ -52,6 +61,7 @@ type Loader struct {
 	imp     types.Importer
 	modRoot string
 	modPath string
+	overlay map[string]string   // import path -> directory
 	cache   map[string]*Package // by absolute dir
 }
 
@@ -70,17 +80,76 @@ func New(dir string) (*Loader, error) {
 		return nil, err
 	}
 	fset := token.NewFileSet()
-	return &Loader{
+	l := &Loader{
 		fset:    fset,
-		imp:     importer.ForCompiler(fset, "source", nil),
 		modRoot: root,
 		modPath: path,
+		overlay: map[string]string{},
 		cache:   map[string]*Package{},
-	}, nil
+	}
+	// The compiler's source importer resolves GOROOT and module-internal
+	// paths; the overlay wrapper intercepts synthetic testdata paths
+	// before they reach it.
+	l.imp = &overlayImporter{l: l, fallback: importer.ForCompiler(fset, "source", nil)}
+	return l, nil
 }
 
 // ModuleRoot returns the directory containing go.mod.
 func (l *Loader) ModuleRoot() string { return l.modRoot }
+
+// AddOverlay maps the import path to a directory: subsequent imports of
+// path (from any package this loader typechecks) resolve to the package
+// in dir instead of going through the source importer. Overlay packages
+// are loaded with LoadDir(dir, path) and shared with direct loads of the
+// same directory.
+func (l *Loader) AddOverlay(path, dir string) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		abs = dir
+	}
+	l.overlay[path] = abs
+}
+
+// overlayImporter resolves overlay paths and module-internal paths
+// through the loader itself, and everything else (the standard library)
+// through the compiler's source importer. Routing module-internal imports
+// through the loader is what gives every loaded package one shared object
+// world: a fact exported on an object of ipdelta/internal/delta while that
+// package is analyzed is found again when ipdelta/internal/diff's syntax
+// resolves to the very same types.Object. If the source importer
+// typechecked dependencies instead, it would build parallel objects and
+// cross-package facts would silently miss.
+type overlayImporter struct {
+	l        *Loader
+	fallback types.Importer
+}
+
+func (oi *overlayImporter) Import(path string) (*types.Package, error) {
+	dir, ok := oi.l.overlay[path]
+	if !ok {
+		dir, ok = oi.l.moduleDir(path)
+	}
+	if ok {
+		pkg, err := oi.l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return oi.fallback.Import(path)
+}
+
+// moduleDir maps a module-internal import path to the directory holding
+// its source, or reports false for external paths.
+func (l *Loader) moduleDir(path string) (string, bool) {
+	if path == l.modPath {
+		return l.modRoot, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
+		return filepath.Join(l.modRoot, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
 
 // findModule walks up from dir to the first go.mod and parses its module
 // path.
@@ -183,7 +252,7 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	if p, ok := l.cache[abs]; ok && importPath == "" {
+	if p, ok := l.cache[abs]; ok && (importPath == "" || p.PkgPath == importPath) {
 		return p, nil
 	}
 	if importPath == "" {
@@ -202,17 +271,24 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 		return nil, err
 	}
 	var files []*ast.File
+	srcs := map[string][]byte{}
 	for _, e := range ents {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
 			continue
 		}
-		f, err := parser.ParseFile(l.fset, filepath.Join(abs, name), nil, parser.ParseComments)
+		filename := filepath.Join(abs, name)
+		src, err := os.ReadFile(filename)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(l.fset, filename, src, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
 		files = append(files, f)
+		srcs[filename] = src
 	}
 	if len(files) == 0 {
 		return nil, fmt.Errorf("loader: no Go files in %s", dir)
@@ -237,19 +313,27 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 		Files:     files,
 		Types:     tpkg,
 		TypesInfo: info,
-		ignores:   collectIgnores(l.fset, files),
+		ignores:   collectIgnores(l.fset, files, srcs),
 	}
 	l.cache[abs] = pkg
 	return pkg, nil
 }
 
-// collectIgnores indexes //ipvet:ignore comments. A directive suppresses
-// diagnostics on its own line and on the next line, so it can trail the
-// flagged statement or sit on its own line above it. Syntax:
+// collectIgnores indexes //ipvet:ignore comments. Syntax:
 //
-//	//ipvet:ignore name1,name2 -- reason
-//	//ipvet:ignore -- reason      (suppresses every analyzer)
-func collectIgnores(fset *token.FileSet, files []*ast.File) map[string]map[string]bool {
+//	x := int(v) //ipvet:ignore offsetsafe -- reason
+//	//ipvet:ignore offsetsafe,aliascheck -- reason
+//	y := int(w)
+//
+// A trailing directive (code precedes it on the line) covers exactly its
+// own line; a standalone directive (alone on its line) covers exactly the
+// next line. Suppression is analyzer-scoped: the directive must name the
+// analyzers to mute, comma- or space-separated, and only those analyzers
+// are silenced — "*" is the explicit, greppable opt-out for every
+// analyzer. A bare "//ipvet:ignore" with no names suppresses nothing;
+// earlier versions treated it as a wildcard, which made one analyzer's
+// suppression silently swallow every other finding on the line.
+func collectIgnores(fset *token.FileSet, files []*ast.File, srcs map[string][]byte) map[string]map[string]bool {
 	ignores := map[string]map[string]bool{}
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -258,28 +342,54 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) map[string]map[strin
 				if !ok {
 					continue
 				}
-				if reason, _, found := strings.Cut(text, "--"); found {
-					text = reason
+				// Reject "//ipvet:ignoreX": the directive must be
+				// followed by a separator or end of comment.
+				if text != "" && text[0] != ' ' && text[0] != '\t' {
+					continue
+				}
+				if names, _, found := strings.Cut(text, "--"); found {
+					text = names
 				}
 				names := map[string]bool{}
 				for _, n := range strings.FieldsFunc(text, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
 					names[n] = true
 				}
 				if len(names) == 0 {
-					names["*"] = true
+					continue // unscoped directive: suppresses nothing
 				}
 				pos := fset.Position(c.Pos())
-				for _, line := range []int{pos.Line, pos.Line + 1} {
-					key := fmt.Sprintf("%s:%d", pos.Filename, line)
-					if ignores[key] == nil {
-						ignores[key] = map[string]bool{}
-					}
-					for n := range names {
-						ignores[key][n] = true
-					}
+				line := pos.Line
+				if standaloneComment(srcs[pos.Filename], pos.Offset) {
+					line = pos.Line + 1
+				}
+				key := fmt.Sprintf("%s:%d", pos.Filename, line)
+				if ignores[key] == nil {
+					ignores[key] = map[string]bool{}
+				}
+				for n := range names {
+					ignores[key][n] = true
 				}
 			}
 		}
 	}
 	return ignores
+}
+
+// standaloneComment reports whether only whitespace precedes the comment
+// starting at offset on its line.
+func standaloneComment(src []byte, offset int) bool {
+	if src == nil || offset > len(src) {
+		return false
+	}
+	for i := offset - 1; i >= 0; i-- {
+		switch src[i] {
+		case '\n':
+			return true
+		case ' ', '\t', '\r':
+			continue
+		default:
+			return false
+		}
+	}
+	return true // first line of the file
 }

@@ -1,0 +1,5 @@
+// Package a is the dependency half of the overlay-importer fixture.
+package a
+
+// Answer is imported by package b.
+func Answer() int { return 42 }

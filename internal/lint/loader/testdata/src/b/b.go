@@ -1,0 +1,7 @@
+// Package b imports package a through the loader's overlay.
+package b
+
+import "a"
+
+// Twice uses the overlay dependency.
+func Twice() int { return 2 * a.Answer() }

@@ -1,0 +1,35 @@
+// Package ignores is a fixture for the //ipvet:ignore scoping tests. The
+// loader test locates each directive by its marker substring, so keep the
+// markers unique.
+package ignores
+
+// Scoped trailing directive: mutes offsetsafe on its own line only.
+func Trailing(v int64) int {
+	return int(v) //ipvet:ignore offsetsafe -- marker-trailing
+}
+
+// Standalone directive: mutes aliascheck on the next line only.
+func Standalone(v int64) int {
+	//ipvet:ignore aliascheck -- marker-standalone
+	return int(v)
+}
+
+// Multiple analyzers, comma separated.
+func Multi(v int64) int {
+	return int(v) //ipvet:ignore offsetsafe,errpropagate -- marker-multi
+}
+
+// Explicit wildcard.
+func Wild(v int64) int {
+	return int(v) //ipvet:ignore * -- marker-wild
+}
+
+// Bare directive: names nothing, so it suppresses nothing.
+func Bare(v int64) int {
+	return int(v) //ipvet:ignore
+}
+
+// Prefix collision: not an ignore directive at all.
+func Prefix(v int64) int {
+	return int(v) //ipvet:ignorenothing offsetsafe
+}

@@ -1,0 +1,15 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"ipdelta/internal/lint/analysistest"
+	"ipdelta/internal/lint/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	// "lockdep" is analyzed first and exports its MuB → MuA edge as a
+	// package fact; the cycle only exists in the combined digraph, so every
+	// finding lands in "locks", on the edges that package owns.
+	analysistest.Run(t, lockorder.Analyzer, "locks", "lockdep")
+}

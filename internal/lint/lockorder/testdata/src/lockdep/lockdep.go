@@ -1,0 +1,24 @@
+// Test dependency package for lockorder: contributes the MuB → MuA edge
+// to the global acquisition digraph through its EdgesFact. On its own the
+// order is acyclic, so this package produces no diagnostics — the cycle
+// appears only when the locks package adds the opposite edge.
+package lockdep
+
+import "sync"
+
+var (
+	MuA sync.Mutex
+	MuB sync.Mutex
+
+	state int
+)
+
+// BA acquires MuB then MuA; the deferred unlocks keep both held to the
+// end of the body, the dominant idiom in the real store package.
+func BA() {
+	MuB.Lock()
+	defer MuB.Unlock()
+	MuA.Lock()
+	defer MuA.Unlock()
+	state++
+}

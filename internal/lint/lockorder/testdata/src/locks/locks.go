@@ -1,0 +1,102 @@
+// Test package for the lockorder analyzer: a cross-package cycle against
+// lockdep's exported edges, an intra-package cycle discovered through a
+// callee's AcquiresFact, a reacquisition self-loop, and the negative
+// idioms (sequential locking, fresh closure context, suppression).
+package locks
+
+import (
+	"sync"
+
+	"lockdep"
+)
+
+type Table struct {
+	mu   sync.RWMutex
+	rows int
+}
+
+var (
+	regMu sync.Mutex
+	mu2   sync.Mutex
+	mu3   sync.Mutex
+	n     int
+)
+
+// AB takes lockdep's mutexes in the opposite order from lockdep.BA; this
+// package owns the MuA → MuB edge, so the cycle is reported here, at the
+// acquisition that completes it.
+func AB() {
+	lockdep.MuA.Lock()
+	defer lockdep.MuA.Unlock()
+	lockdep.MuB.Lock() // want `acquiring lockdep.MuB while holding lockdep.MuA completes a lock-order cycle`
+	defer lockdep.MuB.Unlock()
+	n++
+}
+
+// Register holds regMu and calls a helper whose AcquiresFact says it
+// takes Table.mu: the regMu → Table.mu edge comes from the call site.
+func Register(t *Table) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	fill(t) // want `acquiring locks.Table.mu while holding locks.regMu completes a lock-order cycle`
+}
+
+func fill(t *Table) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows++
+}
+
+// Reload takes the locks in the opposite order directly, closing the
+// intra-package cycle; its edge is reported at its own acquisition.
+func (t *Table) Reload() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	regMu.Lock() // want `acquiring locks.regMu while holding locks.Table.mu completes a lock-order cycle`
+	n++
+	regMu.Unlock()
+}
+
+// Reacquire locks a mutex it already holds: a self-loop, deadlock with a
+// plain Mutex.
+func Reacquire() {
+	mu2.Lock()
+	defer mu2.Unlock()
+	mu2.Lock() // want `locks.mu2 is acquired while already held`
+	n++
+}
+
+// Sequential is the clean idiom: the direct unlock pops the held set, so
+// no ordered pair is recorded.
+func Sequential(t *Table) {
+	regMu.Lock()
+	n++
+	regMu.Unlock()
+	t.mu.RLock()
+	_ = t.rows
+	t.mu.RUnlock()
+}
+
+// ClosureContext defines a literal while holding mu2; the closure body
+// runs at an unknown time, so the lock it takes records no edge from mu2.
+func ClosureContext() func() {
+	mu2.Lock()
+	defer mu2.Unlock()
+	f := func() {
+		regMu.Lock()
+		n++
+		regMu.Unlock()
+	}
+	return f
+}
+
+// Suppressed reacquires under an analyzer-scoped ignore. It uses its own
+// mutex: self-loop edges are deduplicated module-wide with the first
+// position winning, so sharing mu2 with Reacquire would make this the
+// reported site on some traversal orders.
+func Suppressed() {
+	mu3.Lock()
+	defer mu3.Unlock()
+	mu3.Lock() //ipvet:ignore lockorder -- recursive-lock shim, replaced in the next PR
+	n++
+}

@@ -34,7 +34,7 @@ type write struct {
 	locked bool
 }
 
-func run(pass *analysis.Pass) error {
+func run(pass *analysis.Pass) (any, error) {
 	// structType -> mutex field names.
 	mutexFields := map[*types.Named]map[string]bool{}
 	scope := pass.Pkg.Scope()
@@ -62,7 +62,7 @@ func run(pass *analysis.Pass) error {
 		}
 	}
 	if len(mutexFields) == 0 {
-		return nil
+		return nil, nil
 	}
 
 	// (structType, field) -> writes across the whole method set.
@@ -109,7 +109,7 @@ func run(pass *analysis.Pass) error {
 			}
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 func isMutex(t types.Type) bool {

@@ -38,9 +38,9 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
-func run(pass *analysis.Pass) error {
+func run(pass *analysis.Pass) (any, error) {
 	if !PackagePattern.MatchString(pass.Pkg.Path()) {
-		return nil
+		return nil, nil
 	}
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
@@ -49,7 +49,7 @@ func run(pass *analysis.Pass) error {
 			}
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {

@@ -1,0 +1,73 @@
+// Package inspect is a shared analysis pass that walks each package's
+// syntax once and exposes the traversal — preorder node sequence plus a
+// parent map — to every analyzer that declares it in Requires. It is the
+// miniature of golang.org/x/tools/go/ast/inspector: with five analyzers
+// each running their own ast.Inspect, the module was walked five times per
+// package; with the pass, once.
+package inspect
+
+import (
+	"go/ast"
+	"reflect"
+
+	"ipdelta/internal/lint/analysis"
+)
+
+// Analyzer is the inspect pass. It reports nothing; its value is the
+// *Inspector result dependent analyzers obtain via pass.ResultOf.
+var Analyzer = &analysis.Analyzer{
+	Name: "inspect",
+	Doc:  "collects a single shared AST traversal for dependent analyzers",
+	Run:  run,
+}
+
+// Inspector is the cached traversal of one package.
+type Inspector struct {
+	nodes   []ast.Node            // preorder over all files
+	parents map[ast.Node]ast.Node // child -> parent (roots map to nil)
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	in := &Inspector{parents: map[ast.Node]ast.Node{}}
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if len(stack) > 0 {
+				in.parents[n] = stack[len(stack)-1]
+			}
+			stack = append(stack, n)
+			in.nodes = append(in.nodes, n)
+			return true
+		})
+	}
+	return in, nil
+}
+
+// Preorder calls f for every node whose concrete type matches one of the
+// example nodes in filter, in source order across the package's files. A
+// nil or empty filter matches every node.
+func (in *Inspector) Preorder(filter []ast.Node, f func(ast.Node)) {
+	if len(filter) == 0 {
+		for _, n := range in.nodes {
+			f(n)
+		}
+		return
+	}
+	want := make(map[reflect.Type]bool, len(filter))
+	for _, ex := range filter {
+		want[reflect.TypeOf(ex)] = true
+	}
+	for _, n := range in.nodes {
+		if want[reflect.TypeOf(n)] {
+			f(n)
+		}
+	}
+}
+
+// Parent returns the syntactic parent of n, or nil for file roots and
+// unknown nodes.
+func (in *Inspector) Parent(n ast.Node) ast.Node { return in.parents[n] }

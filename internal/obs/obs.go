@@ -35,6 +35,8 @@ type Counter struct {
 
 // Add increments the counter by n. Safe on a nil receiver (no-op), so
 // call sites can keep unconditional handles.
+//
+//ipvet:allocfree
 func (c *Counter) Add(n int64) {
 	if c != nil {
 		c.v.Add(n)
@@ -42,9 +44,13 @@ func (c *Counter) Add(n int64) {
 }
 
 // Inc increments the counter by one.
+//
+//ipvet:allocfree
 func (c *Counter) Inc() { c.Add(1) }
 
 // Load returns the current value (0 on nil).
+//
+//ipvet:allocfree
 func (c *Counter) Load() int64 {
 	if c == nil {
 		return 0
@@ -58,6 +64,8 @@ type Gauge struct {
 }
 
 // Set stores the current value. Safe on a nil receiver.
+//
+//ipvet:allocfree
 func (g *Gauge) Set(n int64) {
 	if g != nil {
 		g.v.Store(n)
@@ -65,6 +73,8 @@ func (g *Gauge) Set(n int64) {
 }
 
 // Add adjusts the gauge by n (negative to decrease).
+//
+//ipvet:allocfree
 func (g *Gauge) Add(n int64) {
 	if g != nil {
 		g.v.Add(n)
@@ -72,6 +82,8 @@ func (g *Gauge) Add(n int64) {
 }
 
 // Load returns the current value (0 on nil).
+//
+//ipvet:allocfree
 func (g *Gauge) Load() int64 {
 	if g == nil {
 		return 0
@@ -98,6 +110,8 @@ func newHistogram(bounds []int64) *Histogram {
 }
 
 // Observe records one value. Safe on a nil receiver (no-op).
+//
+//ipvet:allocfree
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return
@@ -112,6 +126,8 @@ func (h *Histogram) Observe(v int64) {
 }
 
 // Count returns the number of observations (0 on nil).
+//
+//ipvet:allocfree
 func (h *Histogram) Count() int64 {
 	if h == nil {
 		return 0
@@ -120,6 +136,8 @@ func (h *Histogram) Count() int64 {
 }
 
 // Sum returns the sum of observed values (0 on nil).
+//
+//ipvet:allocfree
 func (h *Histogram) Sum() int64 {
 	if h == nil {
 		return 0
@@ -166,6 +184,8 @@ type Stage struct {
 }
 
 // Start begins timing. The zero Stage is safe: End then does nothing.
+//
+//ipvet:allocfree
 func (s Stage) Start() Span { return Span{stage: s, t0: time.Now()} }
 
 // Span is an in-flight stage timing.
@@ -175,6 +195,8 @@ type Span struct {
 }
 
 // End records the elapsed time and returns it.
+//
+//ipvet:allocfree
 func (sp Span) End() time.Duration {
 	d := time.Since(sp.t0)
 	sp.stage.hist.Observe(int64(d))
@@ -219,6 +241,8 @@ func (r *Registry) SetSink(f func(SpanEvent)) {
 }
 
 // emitSpan forwards a completed span to the sink, if any.
+//
+//ipvet:allocfree
 func (r *Registry) emitSpan(name string, start time.Time, d time.Duration) {
 	if f, ok := r.sink.Load().(sinkFunc); ok && f != nil {
 		f(SpanEvent{Name: name, Start: start, Duration: d})

@@ -136,6 +136,8 @@ func (c *matCache) do(key cacheKey, fn func() (any, error)) (any, error) {
 // nearestVersion returns the deepest cached version at or below i — the
 // cheapest starting point for a chain replay — bumping its recency. The
 // scan is O(cache size), far below one delta application.
+//
+//ipvet:allocfree
 func (c *matCache) nearestVersion(i int) (int, []byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -154,6 +156,8 @@ func (c *matCache) nearestVersion(i int) (int, []byte, bool) {
 }
 
 // len reports the current entry count (for tests).
+//
+//ipvet:allocfree
 func (c *matCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
