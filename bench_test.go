@@ -410,6 +410,27 @@ func BenchmarkDiffParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkDiffAuto measures the self-selecting engine across the
+// crossover: compare each size against the matching BenchmarkDiffLinear
+// and BenchmarkDiffParallel rows — auto should track whichever wins.
+func BenchmarkDiffAuto(b *testing.B) {
+	for _, size := range []int{4 << 10, 64 << 10, 256 << 10, 1 << 20} {
+		b.Run(fmt.Sprintf("%dKiB", size>>10), func(b *testing.B) {
+			b.ReportAllocs()
+			p := benchPair(size)
+			ad := diff.NewAutoDiffer()
+			defer ad.Close()
+			b.SetBytes(int64(len(p.Version)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ad.Diff(p.Ref, p.Version); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkStoreVersionCached measures serving the head of a deep delta
 // chain cold (replay per request) and through the materialization cache.
 func BenchmarkStoreVersionCached(b *testing.B) {

@@ -63,6 +63,21 @@ type baselineDoc struct {
 	Stages []baselineStage `json:"stages,omitempty"`
 }
 
+// scalingWorkers returns the worker counts for the diff scaling curve:
+// powers of two from 1 up to numCPU, always ending at numCPU itself, so
+// the emitted document shows where parallel speedup flattens on this
+// machine and the last row is directly comparable to diff.Auto's pick.
+func scalingWorkers(numCPU int) []int {
+	if numCPU < 1 {
+		numCPU = 1
+	}
+	var ws []int
+	for w := 1; w < numCPU; w *= 2 {
+		ws = append(ws, w)
+	}
+	return append(ws, numCPU)
+}
+
 // makeChain builds depth related version images for the store benchmarks:
 // each release splices fresh content into a copy of its predecessor, so the
 // deltas stay small and realistic.
@@ -139,7 +154,7 @@ func runBaseline(out io.Writer, outPath string, quick bool, seed int64) error {
 		return fmt.Errorf("bench-baseline: diff: %w", err)
 	}
 
-	parallelWorkers := []int{2, 4, 8}
+	parallelWorkers := scalingWorkers(runtime.NumCPU())
 
 	doc := &baselineDoc{}
 	doc.Environment.GoVersion = runtime.Version()
@@ -193,9 +208,10 @@ func runBaseline(out io.Writer, outPath string, quick bool, seed int64) error {
 			}
 		}
 	})
-	// Parallel diff at fixed worker counts. Speedup only shows on machines
-	// with that many cores — the environment block records GOMAXPROCS so a
-	// reader can tell which of these rows had real parallelism available.
+	// Parallel diff scaling curve: worker counts 1, 2, 4, ... up to this
+	// machine's core count. The rows are only meaningful relative to the
+	// environment block's num_cpu — on a box with fewer cores than an old
+	// document's, -compare skips them rather than reading noise.
 	for _, w := range parallelWorkers {
 		pd := diff.NewParallelDiffer(w)
 		doc.measure(fmt.Sprintf("diff/parallel/%d", w), vbytes, func(b *testing.B) {
@@ -207,6 +223,17 @@ func runBaseline(out io.Writer, outPath string, quick bool, seed int64) error {
 		})
 		pd.Close()
 	}
+	// The self-selecting engine on the same input: should track whichever
+	// of diff/reuse and diff/parallel/NumCPU wins on this machine.
+	ad := diff.NewAutoDiffer()
+	doc.measure("diff/auto", vbytes, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ad.Diff(p.Ref, p.Version); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ad.Close()
 
 	// Store serving path: materializing the head of a delta chain cold
 	// (full replay per request) versus through the materialization cache
@@ -286,7 +313,10 @@ func runBaseline(out io.Writer, outPath string, quick bool, seed int64) error {
 		return fmt.Errorf("bench-baseline: %w", err)
 	}
 
-	fmt.Fprintf(out, "benchmark baseline (%d-byte input, seed %d) -> %s\n\n", size, seed, outPath)
+	fmt.Fprintf(out, "benchmark baseline (%d-byte input, seed %d) -> %s\n", size, seed, outPath)
+	fmt.Fprintf(out, "environment: %d CPU, GOMAXPROCS %d, %s %s/%s — parallel rows reflect this parallelism\n\n",
+		doc.Environment.NumCPU, doc.Environment.GOMAXPROCS,
+		doc.Environment.GoVersion, doc.Environment.GOOS, doc.Environment.GOARCH)
 	fmt.Fprintf(out, "%-18s %12s %14s %12s %10s\n", "benchmark", "iters", "ns/op", "allocs/op", "MB/s")
 	for _, r := range doc.Results {
 		fmt.Fprintf(out, "%-18s %12d %14.0f %12d %10.1f\n",

@@ -27,6 +27,23 @@ func writeBaseline(t *testing.T, dir, name string, results []baselineResult) str
 	return path
 }
 
+// writeBaselineEnv is writeBaseline with an explicit processor count.
+func writeBaselineEnv(t *testing.T, dir, name string, numCPU int, results []baselineResult) string {
+	t.Helper()
+	doc := &baselineDoc{Results: results}
+	doc.Environment.NumCPU = numCPU
+	doc.Environment.GOMAXPROCS = numCPU
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
 func TestCompareCleanPass(t *testing.T) {
 	dir := t.TempDir()
 	oldPath := writeBaseline(t, dir, "old.json", []baselineResult{
@@ -44,6 +61,40 @@ func TestCompareCleanPass(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "2 compared, 0 regressed") {
 		t.Fatalf("unexpected summary:\n%s", buf.String())
+	}
+}
+
+// TestCompareSkipsParallelOnFewerOldCPUs pins the environment guard: a
+// baseline recorded on a smaller machine must not fail the parallel and
+// auto rows (their old numbers had less parallelism available), while
+// sequential rows still compare normally.
+func TestCompareSkipsParallelOnFewerOldCPUs(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeBaselineEnv(t, dir, "old.json", 1, []baselineResult{
+		{Name: "diff/one-shot", NsPerOp: 1000, AllocsPerOp: 2},
+		{Name: "diff/parallel/4", NsPerOp: 2000, AllocsPerOp: 0},
+		{Name: "diff/auto", NsPerOp: 1000, AllocsPerOp: 0},
+	})
+	newPath := writeBaselineEnv(t, dir, "new.json", 4, []baselineResult{
+		{Name: "diff/one-shot", NsPerOp: 1050, AllocsPerOp: 2}, // +5%, inside threshold
+		// Wildly slower than the 1-CPU document's numbers: must be skipped,
+		// not reported as a regression.
+		{Name: "diff/parallel/4", NsPerOp: 9000, AllocsPerOp: 0},
+		{Name: "diff/auto", NsPerOp: 9000, AllocsPerOp: 0},
+	})
+	var buf bytes.Buffer
+	if err := runCompare(&buf, oldPath, newPath, 0.25); err != nil {
+		t.Fatalf("compare failed despite CPU-mismatch skip: %v\n%s", err, buf.String())
+	}
+	outStr := buf.String()
+	if !strings.Contains(outStr, "1 compared, 0 regressed, 2 skipped") {
+		t.Fatalf("unexpected summary:\n%s", outStr)
+	}
+	if !strings.Contains(outStr, "skipped (old ran on fewer CPUs)") {
+		t.Fatalf("skip verdict missing:\n%s", outStr)
+	}
+	if !strings.Contains(outStr, "old: 1 CPU") || !strings.Contains(outStr, "new: 4 CPU") {
+		t.Fatalf("environments not shown:\n%s", outStr)
 	}
 }
 

@@ -10,6 +10,7 @@
 //	        [-fleet] [-scratch]
 //	ipbench -bench-baseline [-baseline-out FILE] [-quick] [-seed N]
 //	ipbench -compare OLD.json [-compare-to NEW.json] [-threshold R]
+//	ipbench -scaling-gate [-gate-threshold R] [-quick] [-seed N]
 //
 // With no experiment flags, all experiments run. -json emits one JSON
 // document with every selected result instead of rendered tables.
@@ -20,6 +21,10 @@
 // a previously committed baseline and a fresh one and exits non-zero when
 // any shared benchmark slowed down by more than -threshold (default 0.25,
 // i.e. 25%), or when a zero-allocation benchmark started allocating.
+// -scaling-gate measures the diff scaling curve (sequential reuse,
+// parallel at 1..NumCPU workers, auto) in-process and exits non-zero when
+// parallel at full core count or the auto engine loses to sequential
+// reuse by more than -gate-threshold (default 0.05, i.e. 5%).
 package main
 
 import (
@@ -69,11 +74,16 @@ func run(args []string) error {
 	comparePath := fs.String("compare", "", "compare this old baseline JSON against -compare-to and exit non-zero on regression")
 	compareTo := fs.String("compare-to", "BENCH_convert.json", "new baseline JSON for -compare")
 	threshold := fs.Float64("threshold", 0.25, "allowed ns/op slowdown ratio for -compare (0.25 = 25%)")
+	scalingGate := fs.Bool("scaling-gate", false, "measure the diff scaling curve and exit non-zero when parallel at full core count or auto loses to sequential reuse")
+	gateThreshold := fs.Float64("gate-threshold", 0.05, "allowed slowdown ratio for -scaling-gate (0.05 = 5%)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *comparePath != "" {
 		return runCompare(os.Stdout, *comparePath, *compareTo, *threshold)
+	}
+	if *scalingGate {
+		return runScalingGate(os.Stdout, *gateThreshold, *quick, *seed)
 	}
 	if *benchBaseline {
 		return runBaseline(os.Stdout, *baselineOut, *quick, *seed)

@@ -11,7 +11,7 @@
 //	ipstore extract -store FILE -index N -out IMAGE
 //	ipstore delta   -store FILE -from N [-to M] -out DELTA [-inplace] [-policy P]
 //	ipstore rollback -store FILE -to N -out DELTA [-policy P]
-//	ipstore serve   -store FILE [-listen ADDR] [-policy P] [-v]
+//	ipstore serve   -store FILE [-listen ADDR] [-policy P] [-diff ALGO] [-v]
 //
 // serve exposes the store over HTTP: GET /info (JSON census), GET
 // /version/{n} (raw image), GET /delta?from=N (compact in-place delta to

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"ipdelta/internal/codec"
+	"ipdelta/internal/diff"
 	"ipdelta/internal/graph"
 	"ipdelta/internal/obs"
 	"ipdelta/internal/store"
@@ -27,6 +28,7 @@ func cmdServe(args []string) error {
 	listen := fs.String("listen", "127.0.0.1:7080", "listen address")
 	policyName := fs.String("policy", "locally-minimum", "cycle-breaking policy for served deltas")
 	cacheSize := fs.Int("cache", 64, "materialization cache entries (0 disables; versions and composed deltas are replayed per request)")
+	diffName := fs.String("diff", "auto", "differencing algorithm for appended versions: auto, linear, parallel, ...")
 	verbose := fs.Bool("v", false, "log each request (structured, stderr)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -34,10 +36,14 @@ func cmdServe(args []string) error {
 	if *storePath == "" {
 		return errors.New("serve: -store is required")
 	}
+	algo, err := diff.ByName(*diffName)
+	if err != nil {
+		return err
+	}
 	reg := obs.NewRegistry()
 	// The cache and its hit/miss/dedup counters attach at load time, so
 	// /metrics shows the serving hot path from the first request.
-	storeOpts := []store.Option{store.WithObserver(reg)}
+	storeOpts := []store.Option{store.WithObserver(reg), store.WithAlgorithm(algo)}
 	if *cacheSize > 0 {
 		storeOpts = append(storeOpts, store.WithCache(*cacheSize))
 	}

@@ -10,9 +10,11 @@
 // are upgraded to the last one. -timeout arms a per-message I/O deadline so
 // a stalled client cannot pin a server worker; -failure-budget turns away
 // clients (by remote host) after N consecutive failed sessions;
-// -diff-workers computes per-release deltas with the parallel sharded
-// differencer, which matters on multi-core servers prewarming long
-// histories.
+// -diff-workers controls how per-release deltas are computed: the default
+// -1 lets the self-selecting engine pick sequential or parallel per input,
+// 0 forces the sequential differencer, and N > 0 forces the parallel
+// sharded differencer with N workers — which matters on multi-core
+// servers prewarming long histories.
 //
 // -metrics-addr starts an HTTP listener serving the server's metrics
 // registry on /metrics (Prometheus-style text, or JSON with
@@ -50,7 +52,7 @@ func run(args []string) error {
 	timeout := fs.Duration("timeout", 0, "per-message I/O deadline inside a session (0 = none)")
 	failBudget := fs.Int("failure-budget", 0, "reject a client after N consecutive failed sessions (0 = never)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics on this HTTP address (empty = disabled)")
-	diffWorkers := fs.Int("diff-workers", 0, "compute deltas with this many parallel diff workers (0 = sequential)")
+	diffWorkers := fs.Int("diff-workers", -1, "parallel diff workers (-1 = auto-select per input, 0 = sequential)")
 	verbose := fs.Bool("v", false, "log each session (structured, stderr)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,8 +81,11 @@ func run(args []string) error {
 		netupdate.WithObserver(reg),
 		netupdate.WithLogger(logger),
 	}
-	if *diffWorkers > 0 {
+	switch {
+	case *diffWorkers > 0:
 		srvOpts = append(srvOpts, netupdate.WithAlgorithm(diff.NewParallel(*diffWorkers)))
+	case *diffWorkers < 0:
+		srvOpts = append(srvOpts, netupdate.WithAlgorithm(diff.NewAuto()))
 	}
 	srv, err := netupdate.NewServer(history, srvOpts...)
 	if err != nil {

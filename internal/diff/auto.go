@@ -1,0 +1,142 @@
+package diff
+
+import (
+	"runtime"
+
+	"ipdelta/internal/delta"
+	"ipdelta/internal/obs"
+)
+
+// Auto is the self-selecting differencer, registered as "auto" in ByName:
+// each Diff call picks Linear or Parallel from the input size and the
+// current GOMAXPROCS through a small measured cost model, so callers
+// (updated, httpdelta, ipstore serve, ipdelta) never have to guess which
+// engine wins on their hardware. Both underlying engines pool their
+// working memory and are safe for concurrent use, so Auto is too.
+type Auto struct {
+	lin  *Linear
+	par  *Parallel
+	amet *autoMetrics
+}
+
+// autoMetrics counts dispatch decisions so a metrics scrape shows where
+// the crossover actually lands in production traffic.
+type autoMetrics struct {
+	linearPicks   *obs.Counter
+	parallelPicks *obs.Counter
+}
+
+func resolveAutoMetrics(r *obs.Registry) *autoMetrics {
+	return &autoMetrics{
+		linearPicks:   r.Counter("ipdelta_diff_auto_linear_total"),
+		parallelPicks: r.Counter("ipdelta_diff_auto_parallel_total"),
+	}
+}
+
+// Cost-model constants, fitted to the ipbench corpus measurements
+// (BENCH_convert.json): the sequential engine scans at roughly
+// scanNsPerByte, and a parallel diff pays roughly forkJoinNs once
+// (dispatch plus the final stitch) and perWorkerNs per worker (channel
+// hand-off, sharded table-build imbalance, seam handling). The absolute
+// numbers only need to be right within a factor of a few: the decision
+// they feed is a worker count and a crossover, both of which move slowly
+// with the constants.
+const (
+	scanNsPerByte = 13.0
+	forkJoinNs    = 20000.0
+	perWorkerNs   = 6000.0
+)
+
+// chooseWorkers is the dispatch decision: the worker count the cost
+// model picks for one input on procs processors, where 1 means the
+// sequential engine wins. The candidate worker count is capped by the
+// adaptive segment floor (a segment smaller than segmentFloor cannot
+// amortize its setup), and parallel is chosen only when the modelled
+// fork/join overhead is recovered by the shortened scan.
+//
+//ipvet:allocfree
+func chooseWorkers(versionLen, procs int) int {
+	w := workersFor(versionLen, procs)
+	if w <= 1 {
+		return 1
+	}
+	seq := scanNsPerByte * float64(versionLen)
+	par := seq/float64(w) + forkJoinNs + perWorkerNs*float64(w)
+	if par >= seq {
+		return 1
+	}
+	return w
+}
+
+// NewAuto returns a self-selecting differencer. Options configure both
+// underlying engines (seed length, table size, observer).
+func NewAuto(opts ...LinearOption) *Auto {
+	a := &Auto{lin: NewLinear(opts...), par: NewParallel(0, opts...)}
+	if a.lin.obs != nil {
+		a.amet = resolveAutoMetrics(a.lin.obs)
+	}
+	return a
+}
+
+// Name implements Algorithm.
+func (a *Auto) Name() string { return "auto" }
+
+// Diff implements Algorithm by delegating to the engine the cost model
+// picks for this input size and the current GOMAXPROCS.
+func (a *Auto) Diff(ref, version []byte) (*delta.Delta, error) {
+	if chooseWorkers(len(version), runtime.GOMAXPROCS(0)) > 1 {
+		if a.amet != nil {
+			a.amet.parallelPicks.Inc()
+		}
+		return a.par.Diff(ref, version)
+	}
+	if a.amet != nil {
+		a.amet.linearPicks.Inc()
+	}
+	return a.lin.Diff(ref, version)
+}
+
+// AutoDiffer is the reusable self-selecting differencer for steady-state
+// pipelines: a Differ and a ParallelDiffer sharing the dispatch rule, so
+// repeated Diff calls stay allocation-free once both engines are warm.
+// The returned delta is owned by the differ and valid only until its next
+// call; an AutoDiffer is not safe for concurrent use — (*Auto).Diff pools
+// its state internally and is.
+type AutoDiffer struct {
+	lin  *Differ
+	par  *ParallelDiffer
+	amet *autoMetrics
+}
+
+// NewAutoDiffer returns a reusable self-selecting differencer with the
+// given options applied. Close releases the parallel engine's worker
+// goroutines; an unreachable differ is cleaned up by the collector.
+func NewAutoDiffer(opts ...LinearOption) *AutoDiffer {
+	ad := &AutoDiffer{lin: NewDiffer(opts...), par: NewParallelDiffer(0, opts...)}
+	if ad.lin.l.obs != nil {
+		ad.amet = resolveAutoMetrics(ad.lin.l.obs)
+	}
+	return ad
+}
+
+// Name identifies the algorithm in reports.
+func (ad *AutoDiffer) Name() string { return "auto" }
+
+// Close releases the parallel engine's worker goroutines. The differ
+// must not be used afterwards.
+func (ad *AutoDiffer) Close() { ad.par.Close() }
+
+// Diff computes the delta like (*Auto).Diff, into differ-owned storage
+// that is reused by — and valid only until — the next call.
+func (ad *AutoDiffer) Diff(ref, version []byte) (*delta.Delta, error) {
+	if chooseWorkers(len(version), runtime.GOMAXPROCS(0)) > 1 {
+		if ad.amet != nil {
+			ad.amet.parallelPicks.Inc()
+		}
+		return ad.par.Diff(ref, version)
+	}
+	if ad.amet != nil {
+		ad.amet.linearPicks.Inc()
+	}
+	return ad.lin.Diff(ref, version)
+}

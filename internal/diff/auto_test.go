@@ -1,0 +1,154 @@
+package diff
+
+import (
+	"bytes"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"ipdelta/internal/obs"
+)
+
+// TestChooseWorkersCrossover pins the cost model's dispatch table: below
+// the crossover the sequential engine must win (1 worker), above it the
+// parallel engine must win with a worker count bounded by both the
+// processor count and the adaptive segment floor.
+func TestChooseWorkersCrossover(t *testing.T) {
+	cases := []struct {
+		versionLen int
+		procs      int
+		want       int
+	}{
+		{0, 8, 1},                  // empty input
+		{4 << 10, 8, 1},            // below one segment floor: sequential
+		{16 << 10, 8, 1},           // exactly one segment: sequential
+		{segmentFloor*2 - 1, 8, 1}, // still under two full segments
+		{32 << 10, 8, 2},           // two amortized segments: parallel
+		{64 << 10, 4, 4},           // above crossover, capped by procs
+		{64 << 10, 8, 4},           // capped by the segment floor
+		{256 << 10, 4, 4},          // corpus benchmark input
+		{256 << 10, 16, 16},        // floor allows 16 segments
+		{1 << 20, 8, 8},            // large input: every processor
+		{256 << 10, 1, 1},          // single processor: always sequential
+	}
+	for _, tc := range cases {
+		if got := chooseWorkers(tc.versionLen, tc.procs); got != tc.want {
+			t.Errorf("chooseWorkers(%d, %d) = %d, want %d", tc.versionLen, tc.procs, got, tc.want)
+		}
+	}
+}
+
+// TestAutoSelectsEngine asserts, under pinned GOMAXPROCS, that diff.Auto
+// dispatches below-crossover inputs to Linear and above-crossover inputs
+// to Parallel — observed through the auto dispatch counters, so the test
+// sees the decision the production path actually took.
+func TestAutoSelectsEngine(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	reg := obs.NewRegistry()
+	a, err := ByName("auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.(*Auto); !ok {
+		t.Fatalf("ByName(auto) = %T", a)
+	}
+	auto := NewAuto(WithObserver(reg))
+
+	rng := rand.New(rand.NewSource(59))
+	for _, tc := range []struct {
+		size     int
+		parallel bool
+	}{
+		{4 << 10, false},  // below the crossover
+		{64 << 10, true},  // above it
+		{256 << 10, true}, // corpus input
+	} {
+		ref := make([]byte, tc.size)
+		rng.Read(ref)
+		version := mutate(rng, ref, 1+tc.size/4096)
+
+		before := reg.Snapshot()
+		d, err := auto.Diff(ref, version)
+		if err != nil {
+			t.Fatalf("size=%d: Diff: %v", tc.size, err)
+		}
+		out, err := d.Apply(ref)
+		if err != nil {
+			t.Fatalf("size=%d: apply: %v", tc.size, err)
+		}
+		if !bytes.Equal(out, version) {
+			t.Fatalf("size=%d: delta does not reproduce the version", tc.size)
+		}
+		after := reg.Snapshot()
+		dLin := after.Counter("ipdelta_diff_auto_linear_total") - before.Counter("ipdelta_diff_auto_linear_total")
+		dPar := after.Counter("ipdelta_diff_auto_parallel_total") - before.Counter("ipdelta_diff_auto_parallel_total")
+		if tc.parallel && (dPar != 1 || dLin != 0) {
+			t.Errorf("size=%d: picked linear (%d/%d picks), want parallel", tc.size, dLin, dPar)
+		}
+		if !tc.parallel && (dLin != 1 || dPar != 0) {
+			t.Errorf("size=%d: picked parallel (%d/%d picks), want linear", tc.size, dLin, dPar)
+		}
+	}
+}
+
+// TestAutoDifferMatchesAuto checks the reusable self-selecting differ
+// against the detached path on both sides of the crossover.
+func TestAutoDifferMatchesAuto(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	rng := rand.New(rand.NewSource(61))
+	a := NewAuto()
+	ad := NewAutoDiffer()
+	defer ad.Close()
+	for _, size := range []int{300, 4 << 10, 40 << 10, 130 << 10} {
+		ref := make([]byte, size)
+		rng.Read(ref)
+		version := mutate(rng, ref, 1+size/2048)
+
+		want, err := a.Diff(ref, version)
+		if err != nil {
+			t.Fatalf("size=%d: Auto.Diff: %v", size, err)
+		}
+		got, err := ad.Diff(ref, version)
+		if err != nil {
+			t.Fatalf("size=%d: AutoDiffer.Diff: %v", size, err)
+		}
+		if len(got.Commands) != len(want.Commands) {
+			t.Fatalf("size=%d: %d commands, want %d", size, len(got.Commands), len(want.Commands))
+		}
+		out, err := got.Apply(ref)
+		if err != nil {
+			t.Fatalf("size=%d: apply: %v", size, err)
+		}
+		if !bytes.Equal(out, version) {
+			t.Fatalf("size=%d: reused delta does not reproduce the version", size)
+		}
+	}
+}
+
+// TestAutoDifferAllocs holds the self-selecting reuse path to the same
+// steady-state allocation gate as its underlying engines.
+func TestAutoDifferAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts")
+	}
+	ref, version := allocBenchPair()
+	ad := NewAutoDiffer()
+	defer ad.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := ad.Diff(ref, version); err != nil {
+			t.Fatalf("warm-up diff: %v", err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := ad.Diff(ref, version); err != nil {
+			t.Fatalf("diff: %v", err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("steady-state (*AutoDiffer).Diff allocates %.1f times per call, want <= 2", allocs)
+	}
+}

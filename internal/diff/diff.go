@@ -39,6 +39,8 @@ type Algorithm interface {
 // ByName resolves an algorithm identifier as used by CLI flags.
 func ByName(name string) (Algorithm, error) {
 	switch name {
+	case "auto":
+		return NewAuto(), nil
 	case "linear":
 		return NewLinear(), nil
 	case "parallel":
@@ -178,6 +180,18 @@ func resolveAdds(cmds []delta.Command, arena []byte) {
 func matchForward(ref, version []byte, r, v int) int {
 	n := 0
 	for r+n < len(ref) && v+n < len(version) && ref[r+n] == version[v+n] {
+		n++
+	}
+	return n
+}
+
+// matchForwardN is matchForward capped at max bytes, for extensions that
+// must not run past a neighbouring command's range.
+//
+//ipvet:allocfree
+func matchForwardN(ref, version []byte, r, v, max int) int {
+	n := 0
+	for n < max && r+n < len(ref) && v+n < len(version) && ref[r+n] == version[v+n] {
 		n++
 	}
 	return n

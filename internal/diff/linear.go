@@ -18,6 +18,7 @@ type diffMetrics struct {
 	refBytes     *obs.Counter
 	versionBytes *obs.Counter
 	commands     *obs.Counter
+	strided      *obs.Counter // table builds that used an anchor stride > 1
 
 	tableStage obs.Stage // match-table (fingerprint index) build
 	emitStage  obs.Stage // version scan + command emission
@@ -30,6 +31,7 @@ func resolveDiffMetrics(r *obs.Registry) *diffMetrics {
 		refBytes:     r.Counter("ipdelta_diff_ref_bytes_total"),
 		versionBytes: r.Counter("ipdelta_diff_version_bytes_total"),
 		commands:     r.Counter("ipdelta_diff_commands_total"),
+		strided:      r.Counter("ipdelta_diff_strided_builds_total"),
 		tableStage:   r.Stage("ipdelta_diff_stage_table_nanos"),
 		emitStage:    r.Stage("ipdelta_diff_stage_emit_nanos"),
 	}
@@ -111,6 +113,100 @@ func (l *Linear) Name() string { return "linear" }
 // krBase is the Karp–Rabin multiplier; arithmetic is modulo 2^64.
 const krBase = 0x100000001b3 // the FNV prime, a fine odd multiplier
 
+// krPow caches the low powers of krBase: krPow[i] = krBase^i mod 2^64.
+// The unrolled hash kernel below turns eight dependent multiply-adds into
+// eight independent products against these constants, which the CPU can
+// issue in parallel.
+var krPow = computeKRPow()
+
+func computeKRPow() (pw [9]uint64) {
+	pw[0] = 1
+	for i := 1; i < len(pw); i++ {
+		pw[i] = pw[i-1] * krBase
+	}
+	return pw
+}
+
+// krHash computes the Karp–Rabin hash of b in unrolled 8-byte chunks. It
+// is bit-identical to feeding b through krHasher.roll byte by byte: the
+// chunked form only regroups the Horner evaluation into independent
+// products so a p-byte anchor hashes in ~p/8 dependent steps.
+//
+//ipvet:allocfree
+func krHash(b []byte) uint64 {
+	var h uint64
+	i := 0
+	for ; i+8 <= len(b); i += 8 {
+		h = h*krPow[8] +
+			uint64(b[i])*krPow[7] + uint64(b[i+1])*krPow[6] +
+			uint64(b[i+2])*krPow[5] + uint64(b[i+3])*krPow[4] +
+			uint64(b[i+4])*krPow[3] + uint64(b[i+5])*krPow[2] +
+			uint64(b[i+6])*krPow[1] + uint64(b[i+7])
+	}
+	for ; i < len(b); i++ {
+		h = h*krBase + uint64(b[i])
+	}
+	return h
+}
+
+// strideFor picks the reference indexing stride from the number of seed
+// positions. Large references are anchored at every stride-th offset
+// instead of every offset: a common substring of length >= p+stride-1
+// still covers an anchor, and forward/backward extension recovers the
+// skipped bytes, so only matches within stride-1 bytes of the minimum
+// seed length can be lost (the alignment-robustness argument of
+// arXiv:1502.07830). In exchange the table build does 1/stride of the
+// inserts and the table itself shrinks by the same factor, which is what
+// keeps it cache-resident (see tableBitsFor).
+//
+//ipvet:allocfree
+func strideFor(nseeds int) int {
+	switch {
+	case nseeds >= 1<<20:
+		return 8
+	case nseeds >= 1<<18:
+		return 4
+	case nseeds >= 1<<16:
+		return 2
+	}
+	return 1
+}
+
+// strideJump is the stride at or above which the build abandons rolling
+// and hashes each anchor from scratch: re-initializing costs ~p/8
+// unrolled steps per anchor, rolling costs one step per skipped byte, so
+// the jump wins once stride reaches a chunk width.
+const strideJump = 8
+
+// tableBitsFor sizes the fingerprint table for the number of indexed
+// anchors: the smallest power of two holding one slot per anchor (load
+// factor <= 1, the same density the fixed default gave the largest
+// corpus inputs), clamped to [10, maxBits]. A 64 KiB reference now probes
+// a 512 KiB table instead of the fixed 2 MiB one — small enough to stay
+// L2-resident, which the per-byte lookup in scanRange feels directly.
+//
+//ipvet:allocfree
+func tableBitsFor(maxBits uint, indexed int) uint {
+	bits := uint(10)
+	for bits < maxBits && indexed > 1<<bits {
+		bits++
+	}
+	return bits
+}
+
+// tableParams derives the (stride, table bits) pair for one reference
+// length. Linear and Parallel share this derivation, so for equal inputs
+// they build byte-identical tables and compression differences can come
+// only from segment seams.
+//
+//ipvet:allocfree
+func (l *Linear) tableParams(refLen int) (stride int, bits uint) {
+	nseeds := refLen - l.seedLen + 1
+	stride = strideFor(nseeds)
+	indexed := (nseeds + stride - 1) / stride
+	return stride, tableBitsFor(l.tableBits, indexed)
+}
+
 // krHasher computes rolling hashes of p-byte windows. It is a value type:
 // hashers live on the differencer's stack frame rather than the heap.
 type krHasher struct {
@@ -132,10 +228,7 @@ func newKRHasher(p int) krHasher {
 //
 //ipvet:allocfree
 func (h *krHasher) init(b []byte) uint64 {
-	h.hash = 0
-	for _, c := range b {
-		h.hash = h.hash*krBase + uint64(c)
-	}
+	h.hash = krHash(b)
 	return h.hash
 }
 
@@ -229,16 +322,17 @@ func (t *krTable) insertMin(b uint64, r int) {
 }
 
 // linearState is one diff's working memory: the fingerprint table and the
-// emitter. States are pooled per Linear instance (the table size is an
-// instance parameter, so states are not interchangeable across instances).
+// emitter. States are pooled per Linear instance. The table is sized per
+// diff by tableParams, so scan prepares it; only the emitter resets here.
 type linearState struct {
 	table krTable
 	e     emitter
 }
 
-// prepare readies the table for 2^bits entries and resets the emitter.
-func (st *linearState) prepare(bits uint) {
-	st.table.prepare(bits)
+// prepare resets the emitter for a fresh diff.
+//
+//ipvet:allocfree
+func (st *linearState) prepare() {
 	st.e.reset()
 }
 
@@ -248,7 +342,7 @@ func (l *Linear) Diff(ref, version []byte) (*delta.Delta, error) {
 	if st == nil {
 		st = &linearState{}
 	}
-	st.prepare(l.tableBits)
+	st.prepare()
 	l.scan(st, ref, version)
 	d := &delta.Delta{
 		RefLen:     int64(len(ref)),
@@ -287,11 +381,16 @@ func (l *Linear) scan(st *linearState, ref, version []byte) {
 		return
 	}
 
+	stride, bits := l.tableParams(len(ref))
+	st.table.prepare(bits) //ipvet:ignore allocfree -- sizing is amortized: same-shape inputs reuse the table allocation
 	var span obs.Span
 	if l.met != nil {
 		span = l.met.tableStage.Start()
+		if stride > 1 {
+			l.met.strided.Inc()
+		}
 	}
-	buildTable(&st.table, ref, p, 0, len(ref)-p+1)
+	buildTable(&st.table, ref, p, 0, len(ref)-p+1, stride)
 	if l.met != nil {
 		span.End()
 		span = l.met.emitStage.Start()
@@ -302,21 +401,47 @@ func (l *Linear) scan(st *linearState, ref, version []byte) {
 	}
 }
 
-// buildTable indexes the reference seeds whose start offsets lie in
-// [rlo, rhi): table[h] maps the fingerprint bucket h to the seed's first
-// occurrence. shard selects the insert discipline: sequential first-wins
-// for the single builder, atomic min-wins when reference shards build
-// concurrently (the results are identical).
+// alignUp returns the first multiple of stride at or after r. Anchors are
+// aligned to global stride multiples, not shard-local ones, so sharded
+// builders index exactly the position set the sequential build indexes.
 //
 //ipvet:allocfree
-func buildTable(t *krTable, ref []byte, p, rlo, rhi int) {
+func alignUp(r, stride int) int {
+	if rem := r % stride; rem != 0 {
+		return r + stride - rem
+	}
+	return r
+}
+
+// buildTable indexes the reference seeds whose start offsets lie in
+// [rlo, rhi) and are multiples of stride: table[h] maps the fingerprint
+// bucket h to the anchor's first occurrence. Sequential first-wins
+// inserts here, atomic min-wins in buildTableShard when reference shards
+// build concurrently — over the same position set the results are
+// identical. Below strideJump the hash still rolls across every position
+// (one cheap step per skipped byte); at or above it each anchor is
+// hashed from scratch with the unrolled kernel and the skipped bytes are
+// never touched.
+//
+//ipvet:allocfree
+func buildTable(t *krTable, ref []byte, p, rlo, rhi, stride int) {
 	if rlo >= rhi {
+		return
+	}
+	if stride >= strideJump {
+		for r := alignUp(rlo, stride); r < rhi; r += stride {
+			t.insert(krHash(ref[r:r+p])&t.mask, r)
+		}
 		return
 	}
 	rh := newKRHasher(p)
 	rh.init(ref[rlo : rlo+p])
+	next := alignUp(rlo, stride)
 	for r := rlo; ; r++ {
-		t.insert(rh.hash&t.mask, r)
+		if r == next {
+			t.insert(rh.hash&t.mask, r)
+			next += stride
+		}
 		if r+1 >= rhi {
 			break
 		}
@@ -328,14 +453,24 @@ func buildTable(t *krTable, ref []byte, p, rlo, rhi int) {
 // concurrent builders over disjoint [rlo, rhi) reference shards.
 //
 //ipvet:allocfree
-func buildTableShard(t *krTable, ref []byte, p, rlo, rhi int) {
+func buildTableShard(t *krTable, ref []byte, p, rlo, rhi, stride int) {
 	if rlo >= rhi {
+		return
+	}
+	if stride >= strideJump {
+		for r := alignUp(rlo, stride); r < rhi; r += stride {
+			t.insertMin(krHash(ref[r:r+p])&t.mask, r)
+		}
 		return
 	}
 	rh := newKRHasher(p)
 	rh.init(ref[rlo : rlo+p])
+	next := alignUp(rlo, stride)
 	for r := rlo; ; r++ {
-		t.insertMin(rh.hash&t.mask, r)
+		if r == next {
+			t.insertMin(rh.hash&t.mask, r)
+			next += stride
+		}
 		if r+1 >= rhi {
 			break
 		}
@@ -424,7 +559,7 @@ func (dr *Differ) Name() string { return dr.l.Name() }
 // Diff computes the delta like (*Linear).Diff, into differ-owned storage
 // that is reused by — and valid only until — the next call.
 func (dr *Differ) Diff(ref, version []byte) (*delta.Delta, error) {
-	dr.st.prepare(dr.l.tableBits)
+	dr.st.prepare()
 	dr.l.scan(&dr.st, ref, version)
 	dr.out = delta.Delta{
 		RefLen:     int64(len(ref)),

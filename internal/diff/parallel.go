@@ -16,19 +16,23 @@ import (
 //   - the reference is split into shards that build the shared fingerprint
 //     table concurrently, lock-free, with atomic min-offset-wins inserts
 //     that converge on exactly the table the sequential build produces;
-//   - the version is split into worker segments, each scanned into its own
-//     pooled command arena. A segment's seed windows may read past its end
-//     (the overlap window), but its commands cover exactly its byte range,
-//     so the per-worker streams concatenate into a well-formed delta;
-//   - the stitch pass merges seam-adjacent commands — a copy split in two
-//     by a segment boundary whose halves are contiguous in both reference
-//     and version, or a literal run split across two arenas — so output
-//     quality tracks the sequential baseline; only matches that genuinely
-//     straddle a seam unaligned are lost.
+//   - the version is split into worker segments sized len(version)/w with
+//     a floor (segmentFloor) that amortizes per-segment setup. Each
+//     segment scans into its own command list, writing literal bytes
+//     directly into its window of one shared arena. A segment's seed
+//     windows may read past its end (the overlap window), but its
+//     commands cover exactly its byte range, so the per-worker streams
+//     concatenate into a well-formed delta;
+//   - the stitch pass folds the streams at each seam (seamJoin): exact
+//     continuations re-join, and copies clipped by a segment edge are
+//     extended into the neighbouring literal run with the usual
+//     match-extension primitives, reclaiming the bytes the clip dropped.
+//     Output quality tracks the sequential baseline; only matches that
+//     genuinely straddle a seam unaligned are lost.
 //
-// Working memory (table, per-worker emitters) is pooled per instance, as
-// in Linear; the detached Diff result costs the same three allocations.
-// For the zero-allocation steady state, see ParallelDiffer.
+// Working memory (table, shared arena, per-worker emitters) is pooled per
+// instance, as in Linear; the detached Diff result costs the same three
+// allocations. For the zero-allocation steady state, see ParallelDiffer.
 type Parallel struct {
 	l       *Linear // configuration, shared metrics, scan primitives
 	workers int
@@ -39,8 +43,10 @@ type Parallel struct {
 // parallelMetrics holds the pre-resolved handles of an observed Parallel
 // (DESIGN.md §10). Per-diff updates are atomic adds and value-type spans.
 type parallelMetrics struct {
-	seamMerges *obs.Counter // commands rejoined across segment boundaries
-	segments   *obs.Counter // version segments scanned
+	seamMerges      *obs.Counter // commands rejoined across segment boundaries
+	seamExtends     *obs.Counter // copies lengthened across a seam into literals
+	seamExtendBytes *obs.Counter // literal bytes reclaimed into seam-extended copies
+	segments        *obs.Counter // version segments scanned
 
 	workerScan obs.Stage // one span per worker per diff
 	stitch     obs.Stage // seam merge + command stream concatenation
@@ -48,17 +54,35 @@ type parallelMetrics struct {
 
 func resolveParallelMetrics(r *obs.Registry) *parallelMetrics {
 	return &parallelMetrics{
-		seamMerges: r.Counter("ipdelta_diff_seam_merges_total"),
-		segments:   r.Counter("ipdelta_diff_segments_total"),
-		workerScan: r.Stage("ipdelta_diff_stage_worker_scan_nanos"),
-		stitch:     r.Stage("ipdelta_diff_stage_stitch_nanos"),
+		seamMerges:      r.Counter("ipdelta_diff_seam_merges_total"),
+		seamExtends:     r.Counter("ipdelta_diff_seam_extends_total"),
+		seamExtendBytes: r.Counter("ipdelta_diff_seam_extend_bytes_total"),
+		segments:        r.Counter("ipdelta_diff_segments_total"),
+		workerScan:      r.Stage("ipdelta_diff_stage_worker_scan_nanos"),
+		stitch:          r.Stage("ipdelta_diff_stage_stitch_nanos"),
 	}
 }
 
-// minSegment is the smallest version segment worth a goroutine: below
-// this, coordination overhead and seam losses dominate and the input is
-// scanned with fewer workers (possibly one).
-const minSegment = 4 << 10
+// segmentFloor is the smallest version segment worth a goroutine. Segment
+// size is derived as len(version)/workers; the floor shrinks the worker
+// count until each segment amortizes its fixed costs (dispatch, sharded
+// table-build imbalance, seam handling — single-digit microseconds per
+// segment against a scan that moves multiple bytes per nanosecond).
+const segmentFloor = 16 << 10
+
+// workersFor derives the worker count for one input: len(version)/workers
+// per segment, floored at segmentFloor, never below one.
+//
+//ipvet:allocfree
+func workersFor(versionLen, workers int) int {
+	if most := versionLen / segmentFloor; workers > most {
+		workers = most
+	}
+	if workers < 1 {
+		return 1
+	}
+	return workers
+}
 
 // NewParallel returns a parallel differencer running the given number of
 // workers (0 or negative means GOMAXPROCS). Options configure the
@@ -96,6 +120,7 @@ type segment struct {
 	ref       []byte
 	version   []byte
 	p         int
+	stride    int // reference anchor stride (shared with Linear's derivation)
 	rlo, rhi  int // reference seed range to index
 	vlo, vhi  int // version byte range to scan
 	minCopy   int
@@ -110,7 +135,7 @@ type segment struct {
 func (sg *segment) run() {
 	switch sg.job {
 	case jobBuild:
-		buildTableShard(sg.table, sg.ref, sg.p, sg.rlo, sg.rhi)
+		buildTableShard(sg.table, sg.ref, sg.p, sg.rlo, sg.rhi, sg.stride)
 	case jobScan:
 		span := sg.scanStage.Start()
 		scanRange(sg.table, &sg.e, sg.ref, sg.version, sg.p, sg.vlo, sg.vhi, sg.minCopy)
@@ -149,10 +174,20 @@ func (wp *workerPool) shutdown() {
 }
 
 // parallelState is one diff's working memory: the shared fingerprint
-// table and the per-worker segments. Pooled per Parallel instance.
+// table, the per-worker segments, and one shared literal arena. Pooled
+// per Parallel instance.
+//
+// The arena replaces the old per-worker arenas + stitch-time copy:
+// workers emit literals directly into disjoint windows of this single
+// buffer, laid out at version offsets (segment i's window is
+// arena[vlo:vhi] — a segment can never produce more literal bytes than
+// its own length), so the stitch pass only rebases add offsets instead
+// of copying every literal byte.
 type parallelState struct {
 	table krTable
 	segs  []segment
+	arena []byte
+	cmds  []delta.Command // stitched stream scratch (detached Diff path)
 	wg    sync.WaitGroup
 }
 
@@ -178,19 +213,18 @@ func (st *parallelState) dispatch(w, job int, wp *workerPool) {
 // used (1 for inputs too small to split).
 func (pl *Parallel) run(st *parallelState, ref, version []byte, wp *workerPool) int {
 	p := pl.l.seedLen
-	st.table.prepare(pl.l.tableBits)
+	stride, bits := pl.l.tableParams(len(ref))
+	st.table.prepare(bits)
 
-	w := pl.workers
-	if most := len(version) / minSegment; w > most {
-		w = most
-	}
-	if w < 1 {
-		w = 1
-	}
+	w := workersFor(len(version), pl.workers)
 	if cap(st.segs) < w {
 		st.segs = make([]segment, w)
 	}
 	st.segs = st.segs[:w]
+	if cap(st.arena) < len(version) {
+		st.arena = make([]byte, len(version))
+	}
+	st.arena = st.arena[:len(version)]
 
 	var scanStage obs.Stage
 	if pl.pmet != nil {
@@ -203,6 +237,7 @@ func (pl *Parallel) run(st *parallelState, ref, version []byte, wp *workerPool) 
 		sg.ref = ref
 		sg.version = version
 		sg.p = p
+		sg.stride = stride
 		sg.wg = &st.wg
 		sg.scanStage = scanStage
 		sg.minCopy = p
@@ -214,18 +249,22 @@ func (pl *Parallel) run(st *parallelState, ref, version []byte, wp *workerPool) 
 		}
 		sg.vlo = i * len(version) / w
 		sg.vhi = (i + 1) * len(version) / w
-		// The emitter writes at absolute version offsets: start the
-		// segment's write cursor at its first byte.
+		// The emitter writes at absolute version offsets and its literal
+		// bytes go straight into the segment's arena window.
 		sg.e.reset()
+		sg.e.lits = st.arena[sg.vlo:sg.vlo:sg.vhi]
 		sg.e.at = int64(sg.vlo)
 	}
 
 	var span obs.Span
 	if pl.l.met != nil {
 		span = pl.l.met.tableStage.Start()
+		if stride > 1 {
+			pl.l.met.strided.Inc()
+		}
 	}
 	if w == 1 {
-		buildTable(&st.table, ref, p, 0, nseeds)
+		buildTable(&st.table, ref, p, 0, nseeds, stride)
 	} else {
 		st.dispatch(w, jobBuild, wp)
 	}
@@ -247,48 +286,168 @@ func (pl *Parallel) run(st *parallelState, ref, version []byte, wp *workerPool) 
 	return w
 }
 
-// stitch concatenates the per-worker command streams into cmds and their
-// literal arenas into arena, merging the first command of each segment
-// into the previous segment's last command when they are contiguous in
-// both source and destination (a match or literal run the segment split).
-// Add commands still carry arena offsets in From; the caller resolves
-// them. Returns the merged command count delta for observability.
+// seamStats aggregates what the stitch pass did at segment boundaries.
+type seamStats struct {
+	merges      int // commands rejoined exactly across a seam
+	extends     int // copies lengthened into a neighbouring literal run
+	extendBytes int // literal bytes reclaimed into seam-extended copies
+}
+
+// seamJoin tries to fold c — the next command arriving at a segment seam
+// — into the tail of cmds. Three folds apply, O(1) bookkeeping each plus
+// byte comparisons bounded by the match actually recovered:
+//
+//   - exact continuation: a copy split in two by the seam, contiguous in
+//     both reference and version, re-joins into one command;
+//   - a literal run split across two arena windows re-joins (the right
+//     half is relocated to sit flush against the left half — windows are
+//     laid out at version offsets, so the gap it moves across is exactly
+//     the left segment's unused window tail);
+//   - a copy ending (or starting) at the seam extends forward (backward)
+//     into the neighbouring segment's literal run, using matchForward /
+//     matchBackward to reclaim the match bytes the segment clip dropped
+//     — the re-scan of clipped boundaries the old stitch never did.
+//
+// It reports whether c was wholly consumed; a consumed literal run can
+// expose the previous command to a further fold, hence the loop.
 //
 //ipvet:allocfree
-func stitch(segs []segment, cmds []delta.Command, arena []byte) ([]delta.Command, []byte, int) {
-	merges := 0
+func seamJoin(cmds []delta.Command, c *delta.Command, ref, version, arena []byte, stats *seamStats) ([]delta.Command, bool) {
+	for len(cmds) > 0 {
+		last := &cmds[len(cmds)-1]
+		if last.To+last.Length != c.To {
+			return cmds, false
+		}
+		switch {
+		case last.Op == delta.OpCopy && c.Op == delta.OpCopy:
+			if last.From+last.Length != c.From {
+				return cmds, false // contiguous in version, not in reference
+			}
+			last.Length += c.Length
+			stats.merges++
+			return cmds, true
+		case last.Op == delta.OpAdd && c.Op == delta.OpAdd:
+			// Literal runs adjacent in the version: relocate the right
+			// run against the left one so the merged add aliases one
+			// contiguous arena range. copy is memmove-safe (dst <= src).
+			end := last.From + last.Length
+			if end != c.From {
+				copy(arena[end:end+c.Length], arena[c.From:c.From+c.Length])
+			}
+			last.Length += c.Length
+			stats.merges++
+			return cmds, true
+		case last.Op == delta.OpCopy && c.Op == delta.OpAdd:
+			// The left copy's match may continue into the right segment's
+			// leading literals (the clip dropped the residue).
+			n := int64(matchForwardN(ref, version, int(last.From+last.Length), int(c.To), int(c.Length)))
+			if n == 0 {
+				return cmds, false
+			}
+			last.Length += n
+			c.From += n
+			c.To += n
+			c.Length -= n
+			stats.extends++
+			stats.extendBytes += int(n)
+			return cmds, c.Length == 0
+		default: // add | copy
+			// The right copy's backward extension was clipped at the
+			// seam: pull it back through the left trailing literals.
+			n := int64(matchBackward(ref, version, int(c.From), int(c.To), int(last.Length)))
+			if n == 0 {
+				return cmds, false
+			}
+			c.From -= n
+			c.To -= n
+			c.Length += n
+			last.Length -= n
+			stats.extends++
+			stats.extendBytes += int(n)
+			if last.Length > 0 {
+				return cmds, false
+			}
+			cmds = cmds[:len(cmds)-1] // literal run wholly matched away
+			// c may now continue the command before the dropped add.
+		}
+	}
+	return cmds, false
+}
+
+// stitch concatenates the per-worker command streams into cmds. Literal
+// bytes already sit in the shared arena (each segment's window starts at
+// arena offset vlo), so no literal data is copied: add commands only get
+// their window-local offsets rebased to absolute arena offsets, still
+// carried in From until the caller resolves them. At each seam the
+// streams are folded by seamJoin — an O(seams) pass plus the bytes any
+// cross-seam match extension actually recovers.
+//
+//ipvet:allocfree
+func stitch(segs []segment, cmds []delta.Command, ref, version, arena []byte) ([]delta.Command, seamStats) {
+	var stats seamStats
 	for i := range segs {
-		e := &segs[i].e
-		e.flushAdd()
-		base := int64(len(arena))
-		arena = append(arena, e.lits...)
-		for k := range e.cmds {
-			c := e.cmds[k]
+		sg := &segs[i]
+		sg.e.flushAdd()
+		base := int64(sg.vlo)
+		atSeam := i > 0
+		for k := range sg.e.cmds {
+			c := sg.e.cmds[k]
 			if c.Op == delta.OpAdd {
 				c.From += base
 			}
-			if k == 0 && len(cmds) > 0 {
-				last := &cmds[len(cmds)-1]
-				// Seam merge: contiguous in write offset and in source
-				// (reference offset for copies, arena offset for adds —
-				// arenas are laid end to end, so a literal run split by
-				// the seam is contiguous here exactly when it was
-				// contiguous in the version).
-				if last.Op == c.Op && last.To+last.Length == c.To && last.From+last.Length == c.From {
-					last.Length += c.Length
-					merges++
+			if atSeam && len(cmds) > 0 {
+				var consumed bool
+				cmds, consumed = seamJoin(cmds, &c, ref, version, arena, &stats)
+				if consumed {
 					continue
 				}
+				atSeam = false
 			}
 			cmds = append(cmds, c)
 		}
 	}
-	return cmds, arena, merges
+	return cmds, stats
+}
+
+// recordStitch folds one stitch pass's seam statistics into the metrics.
+//
+//ipvet:allocfree
+func (pl *Parallel) recordStitch(stats seamStats, w int) {
+	pl.pmet.seamMerges.Add(int64(stats.merges))
+	pl.pmet.seamExtends.Add(int64(stats.extends))
+	pl.pmet.seamExtendBytes.Add(int64(stats.extendBytes))
+	pl.pmet.segments.Add(int64(w))
+}
+
+// detachCommands copies the stitched command stream out of the pooled
+// scratch: a fresh command slice and one compact literal arena holding
+// exactly the surviving add bytes, with From offsets rewritten against
+// it and resolved into sub-slices.
+func detachCommands(cmds []delta.Command, scratch []byte) []delta.Command {
+	out := make([]delta.Command, len(cmds))
+	copy(out, cmds)
+	var total int64
+	for k := range out {
+		if out[k].Op == delta.OpAdd {
+			total += out[k].Length
+		}
+	}
+	arena := make([]byte, 0, total)
+	for k := range out {
+		if out[k].Op != delta.OpAdd {
+			continue
+		}
+		off := int64(len(arena))
+		arena = append(arena, scratch[out[k].From:out[k].From+out[k].Length]...)
+		out[k].From = off
+	}
+	resolveAdds(out, arena)
+	return out
 }
 
 // Diff implements Algorithm. The result is detached: like (*Linear).Diff
 // it costs three allocations (delta, command slice, one literal arena);
-// the table and per-worker scratch come from the pool.
+// the table, shared arena, and per-worker scratch come from the pool.
 func (pl *Parallel) Diff(ref, version []byte) (*delta.Delta, error) {
 	st, _ := pl.pool.Get().(*parallelState)
 	if st == nil {
@@ -300,24 +459,25 @@ func (pl *Parallel) Diff(ref, version []byte) (*delta.Delta, error) {
 	if pl.pmet != nil {
 		span = pl.pmet.stitch.Start()
 	}
-	ncmds, nlits := 0, 0
+	ncmds := 0
 	for i := 0; i < w; i++ {
 		e := &st.segs[i].e
 		e.flushAdd()
 		ncmds += len(e.cmds)
-		nlits += len(e.lits)
 	}
-	cmds, arena, merges := stitch(st.segs[:w], make([]delta.Command, 0, ncmds), make([]byte, 0, nlits))
-	resolveAdds(cmds, arena)
+	if cap(st.cmds) < ncmds {
+		st.cmds = make([]delta.Command, 0, ncmds)
+	}
+	cmds, stats := stitch(st.segs[:w], st.cmds[:0], ref, version, st.arena)
+	st.cmds = cmds
 	d := &delta.Delta{
 		RefLen:     int64(len(ref)),
 		VersionLen: int64(len(version)),
-		Commands:   cmds,
+		Commands:   detachCommands(cmds, st.arena),
 	}
 	if pl.pmet != nil {
 		span.End()
-		pl.pmet.seamMerges.Add(int64(merges))
-		pl.pmet.segments.Add(int64(w))
+		pl.recordStitch(stats, w)
 	}
 	pl.pool.Put(st)
 	pl.l.record(ref, version, len(d.Commands))
@@ -336,7 +496,6 @@ type ParallelDiffer struct {
 	wp   *workerPool
 	st   parallelState
 	cmds []delta.Command
-	lits []byte
 	out  delta.Delta
 }
 
@@ -373,9 +532,9 @@ func (pd *ParallelDiffer) Diff(ref, version []byte) (*delta.Delta, error) {
 	if pd.pl.pmet != nil {
 		span = pd.pl.pmet.stitch.Start()
 	}
-	var merges int
-	pd.cmds, pd.lits, merges = stitch(pd.st.segs[:w], pd.cmds[:0], pd.lits[:0])
-	resolveAdds(pd.cmds, pd.lits)
+	var stats seamStats
+	pd.cmds, stats = stitch(pd.st.segs[:w], pd.cmds[:0], ref, version, pd.st.arena)
+	resolveAdds(pd.cmds, pd.st.arena)
 	pd.out = delta.Delta{
 		RefLen:     int64(len(ref)),
 		VersionLen: int64(len(version)),
@@ -383,8 +542,7 @@ func (pd *ParallelDiffer) Diff(ref, version []byte) (*delta.Delta, error) {
 	}
 	if pd.pl.pmet != nil {
 		span.End()
-		pd.pl.pmet.seamMerges.Add(int64(merges))
-		pd.pl.pmet.segments.Add(int64(w))
+		pd.pl.recordStitch(stats, w)
 	}
 	pd.pl.l.record(ref, version, len(pd.out.Commands))
 	return &pd.out, nil

@@ -105,7 +105,7 @@ func TestParallelSeamStraddlingMatch(t *testing.T) {
 	pl := NewParallel(workers, WithObserver(reg))
 	// ref == version, large enough for 4 segments: the whole file is one
 	// match that straddles all three interior seams.
-	ref := make([]byte, workers*minSegment*2)
+	ref := make([]byte, workers*segmentFloor*2)
 	rand.New(rand.NewSource(7)).Read(ref)
 	version := append([]byte(nil), ref...)
 

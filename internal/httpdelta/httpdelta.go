@@ -83,7 +83,9 @@ func resolveResourceMetrics(r *obs.Registry) *resourceMetrics {
 // ResourceOption customizes a Resource.
 type ResourceOption func(*Resource)
 
-// WithAlgorithm selects the differencing algorithm (default linear).
+// WithAlgorithm selects the differencing algorithm (default auto, which
+// picks the sequential or parallel engine per update from body size and
+// GOMAXPROCS).
 func WithAlgorithm(a diff.Algorithm) ResourceOption {
 	return func(r *Resource) { r.algo = a }
 }
@@ -123,7 +125,7 @@ func WithLogger(l *slog.Logger) ResourceOption {
 // NewResource creates a resource with an initial body.
 func NewResource(body []byte, opts ...ResourceOption) *Resource {
 	r := &Resource{
-		algo:        diff.NewLinear(),
+		algo:        diff.NewAuto(),
 		maxVersions: 8,
 		versions:    make(map[string][]byte),
 	}

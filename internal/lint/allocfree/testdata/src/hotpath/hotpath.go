@@ -158,3 +158,31 @@ func Suppressed(n int) []int {
 func Unchecked(n int) []int {
 	return make([]int, n)
 }
+
+// The seam-merge idioms: a three-index sub-slice windowing an existing
+// arena, appends back into the same variable, relocation with copy, and
+// the pop-by-reslice pattern. None of these allocate.
+//
+//ipvet:allocfree
+func WindowedArena(arena []byte, cmds []header, lo, hi int) []header {
+	w := arena[lo:lo:hi]
+	w = append(w, arena[:lo]...)
+	copy(arena[lo:], w)
+	if len(cmds) > 0 && cmds[len(cmds)-1].n == 0 {
+		cmds = cmds[:len(cmds)-1]
+	}
+	return append(cmds, header{off: int64(lo), n: len(w)})
+}
+
+// The cost-model idiom: float arithmetic over converted ints feeding a
+// branch. Pure computation, no allocation.
+//
+//ipvet:allocfree
+func CostModel(n, w int) int {
+	seq := 13.0 * float64(n)
+	par := seq/float64(w) + 20000.0 + 6000.0*float64(w)
+	if par >= seq {
+		return 1
+	}
+	return w
+}
