@@ -1,0 +1,342 @@
+package archive
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"math/rand/v2"
+	"testing"
+
+	"ipdelta/internal/obs"
+)
+
+// testBlobs derives deterministic, compressible-ish blobs of varied size.
+func testBlobs(rng *rand.Rand, count int) [][]byte {
+	blobs := make([][]byte, count)
+	for i := range blobs {
+		b := make([]byte, 37+rng.IntN(300))
+		for j := range b {
+			b[j] = byte(rng.IntN(256))
+		}
+		blobs[i] = b
+	}
+	return blobs
+}
+
+func newTestArchive(t *testing.T, k, m int, opts ...Option) (*Archive, []*Node) {
+	t.Helper()
+	a, nodes, err := NewWithNodes(k, m, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, nodes
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	a, _ := newTestArchive(t, 4, 2)
+	blobs := testBlobs(rng, 8)
+	for i, b := range blobs {
+		if err := a.Put(uint64(i), b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range blobs {
+		got, err := a.Get(uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("stripe %d mismatch", i)
+		}
+	}
+	if rep := a.Scrub(); !rep.Clean() {
+		t.Fatalf("fresh archive scrub dirty: %v", rep)
+	}
+	if _, err := a.Get(99); !errors.Is(err, ErrNoSuchStripe) {
+		t.Fatalf("want ErrNoSuchStripe, got %v", err)
+	}
+}
+
+// TestArchiveDegradedReadGrid is the archive-level acceptance property:
+// for every (k, m) with k+m <= 16 and every failure count f <= m, killing
+// f nodes still serves every blob byte-for-byte.
+func TestArchiveDegradedReadGrid(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	for k := 1; k <= 15; k++ {
+		for m := 1; k+m <= 16; m++ {
+			a, nodes := newTestArchive(t, k, m)
+			blobs := testBlobs(rng, 3)
+			for i, b := range blobs {
+				if err := a.Put(uint64(i), b); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Kill a random f-subset of nodes for each f in 1..m.
+			for f := 1; f <= m; f++ {
+				killed := rng.Perm(k + m)[:f]
+				for _, j := range killed {
+					nodes[j].Kill()
+				}
+				for i, want := range blobs {
+					got, err := a.Get(uint64(i))
+					if err != nil {
+						t.Fatalf("k=%d m=%d f=%d stripe %d: %v", k, m, f, i, err)
+					}
+					if !bytes.Equal(got, want) {
+						t.Fatalf("k=%d m=%d f=%d stripe %d mismatch", k, m, f, i)
+					}
+				}
+				for _, j := range killed {
+					nodes[j].Revive()
+				}
+			}
+			// m+1 dead nodes must fail loudly, never serve wrong bytes.
+			for _, j := range rng.Perm(k + m)[: m+1 : m+1] {
+				nodes[j].Kill()
+			}
+			if _, err := a.Get(0); !errors.Is(err, ErrUnrecoverable) {
+				t.Fatalf("k=%d m=%d: want ErrUnrecoverable with %d dead, got %v", k, m, m+1, err)
+			}
+		}
+	}
+}
+
+func TestArchiveScrubDetectsAndRepairRestores(t *testing.T) {
+	seed := uint64(42)
+	rng := rand.New(rand.NewPCG(seed, 3))
+	reg := obs.NewRegistry()
+	// m = 4 so the worst-case clustering of the four injected faults
+	// (wipe + two bit-rots + one truncation on one stripe) stays within
+	// the parity budget.
+	a, nodes := newTestArchive(t, 4, 4, WithObserver(reg))
+	blobs := testBlobs(rng, 10)
+	for i, b := range blobs {
+		if err := a.Put(uint64(i), b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Inject silent damage: bit-rot on two nodes, a truncation, and one
+	// node wiped entirely (replaced hardware).
+	if _, ok := nodes[1].CorruptShard(rng); !ok {
+		t.Fatal("no shard to corrupt")
+	}
+	if _, ok := nodes[6].CorruptShard(rng); !ok {
+		t.Fatal("no shard to corrupt")
+	}
+	if _, ok := nodes[3].TruncateShard(rng); !ok {
+		t.Fatal("no shard to truncate")
+	}
+	nodes[7].Wipe()
+
+	rep := a.Scrub()
+	if rep.Clean() {
+		t.Fatalf("seed %d: scrub missed injected damage: %v", seed, rep)
+	}
+	if rep.Missing != len(blobs) {
+		t.Errorf("seed %d: scrub found %d missing shards, want %d (wiped node)", seed, rep.Missing, len(blobs))
+	}
+	if rep.Corrupt != 3 {
+		t.Errorf("seed %d: scrub found %d corrupt shards, want 3", seed, rep.Corrupt)
+	}
+	if rep.Unrecoverable != 0 {
+		t.Errorf("seed %d: %d stripes unrecoverable", seed, rep.Unrecoverable)
+	}
+
+	fixed := a.Repair()
+	if want := rep.Missing + rep.Corrupt; fixed.Repaired != want {
+		t.Errorf("seed %d: repaired %d shards, want %d", seed, fixed.Repaired, want)
+	}
+	if fixed.Failed != 0 || fixed.Unrecoverable != 0 {
+		t.Errorf("seed %d: repair failures: %v", seed, fixed)
+	}
+	if rep := a.Scrub(); !rep.Clean() {
+		t.Fatalf("seed %d: post-repair scrub dirty: %v", seed, rep)
+	}
+	for i, want := range blobs {
+		got, err := a.Get(uint64(i))
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("seed %d: stripe %d after repair: err=%v", seed, i, err)
+		}
+	}
+
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"ipdelta_archive_scrub_corrupt_total",
+		"ipdelta_archive_scrub_missing_total",
+		"ipdelta_archive_repaired_shards_total",
+		"ipdelta_archive_reads_total",
+	} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("counter %s did not move", name)
+		}
+	}
+}
+
+func TestArchiveRepairWaitsForDeadNode(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 4))
+	a, nodes := newTestArchive(t, 3, 2)
+	blobs := testBlobs(rng, 4)
+	for i, b := range blobs {
+		if err := a.Put(uint64(i), b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nodes[0].Kill()
+	rep := a.Repair()
+	if rep.Repaired != 0 || rep.Failed != len(blobs) {
+		t.Fatalf("repair against dead node: %v", rep)
+	}
+	// Degraded reads still work while the node is down.
+	for i, want := range blobs {
+		got, err := a.Get(uint64(i))
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("degraded read %d: %v", i, err)
+		}
+	}
+	// Replace the node (revive empty) and repair for real.
+	nodes[0].Wipe()
+	nodes[0].Revive()
+	rep = a.Repair()
+	if rep.Repaired != len(blobs) || rep.Failed != 0 {
+		t.Fatalf("repair after revive: %v", rep)
+	}
+	if sc := a.Scrub(); !sc.Clean() {
+		t.Fatalf("post-repair scrub dirty: %v", sc)
+	}
+}
+
+func TestArchiveTransientFaults(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 5))
+	a, nodes := newTestArchive(t, 4, 2)
+	blobs := testBlobs(rng, 6)
+	for i, b := range blobs {
+		if err := a.Put(uint64(i), b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every third op on two nodes fails transiently; reads must still be
+	// served (degraded via peers) because at most 2 shards drop per read.
+	nodes[0].FailEveryOps(3)
+	nodes[5].FailEveryOps(2)
+	for round := 0; round < 3; round++ {
+		for i, want := range blobs {
+			got, err := a.Get(uint64(i))
+			if err != nil || !bytes.Equal(got, want) {
+				t.Fatalf("round %d stripe %d: %v", round, i, err)
+			}
+		}
+	}
+}
+
+func TestArchivePutToleratesUpToMFailures(t *testing.T) {
+	a, nodes := newTestArchive(t, 2, 2)
+	nodes[1].Kill()
+	nodes[2].Kill()
+	if err := a.Put(0, []byte("survives two dead nodes")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Get(0)
+	if err != nil || string(got) != "survives two dead nodes" {
+		t.Fatalf("get after degraded put: %v", err)
+	}
+	nodes[3].Kill()
+	if err := a.Put(1, []byte("three dead is too many")); err == nil {
+		t.Fatal("want put error with m+1 nodes dead")
+	}
+	if _, err := a.Get(1); !errors.Is(err, ErrNoSuchStripe) {
+		t.Fatalf("failed put must not record the stripe: %v", err)
+	}
+}
+
+func TestArchiveBlobCRCCatchesCollusion(t *testing.T) {
+	// If stripe metadata rots in a way per-shard CRCs cannot see (here:
+	// simulated by overwriting a shard AND its recorded CRC), the final
+	// blob CRC still refuses to serve wrong bytes.
+	a, nodes := newTestArchive(t, 2, 1)
+	if err := a.Put(0, []byte("payload payload payload")); err != nil {
+		t.Fatal(err)
+	}
+	bad := bytes.Repeat([]byte{0xAA}, 12)
+	if err := nodes[0].Put(ShardID{Stripe: 0, Index: 0}, bad); err != nil {
+		t.Fatal(err)
+	}
+	a.stripes[0].shardCRC[0] = crc32.ChecksumIEEE(bad)
+	if _, err := a.Get(0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestArchiveManifestOpenRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 6))
+	a, nodes := newTestArchive(t, 3, 2)
+	blobs := testBlobs(rng, 5)
+	for i, b := range blobs {
+		if err := a.Put(uint64(i), b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	man := a.Manifest()
+	reopened, err := Open(nodes, man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes[4].Kill() // reopened archives serve degraded reads too
+	for i, want := range blobs {
+		got, err := reopened.Get(uint64(i))
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("reopened stripe %d: %v", i, err)
+		}
+	}
+	man.Stripes[0].BlobLen = man.Stripes[0].ShardSize*3 + 1
+	if _, err := Open(nodes, man); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("hostile manifest: want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestNodeFaultPrimitives(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 7))
+	n := NewNode(0)
+	if _, ok := n.CorruptShard(rng); ok {
+		t.Fatal("empty node corrupted something")
+	}
+	if _, ok := n.TruncateShard(rng); ok {
+		t.Fatal("empty node truncated something")
+	}
+	id := ShardID{Stripe: 3, Index: 0}
+	if err := n.Put(id, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	n.Kill()
+	if !n.Down() {
+		t.Fatal("killed node not down")
+	}
+	if _, err := n.Get(id); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("want ErrNodeDown, got %v", err)
+	}
+	if err := n.Put(id, nil); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("want ErrNodeDown, got %v", err)
+	}
+	n.Revive()
+	if got, err := n.Get(id); err != nil || len(got) != 4 {
+		t.Fatalf("killed node lost data across revive: %v", err)
+	}
+	// Mutating the returned copy must not touch the stored shard.
+	got, _ := n.Get(id)
+	got[0] = 99
+	again, _ := n.Get(id)
+	if again[0] == 99 {
+		t.Fatal("Get aliases stored shard")
+	}
+	if _, ok := n.TruncateShard(rng); !ok {
+		t.Fatal("truncate failed")
+	}
+	if b, _ := n.Get(id); len(b) >= 4 {
+		t.Fatal("truncate did not shrink the shard")
+	}
+	n.Wipe()
+	if n.Len() != 0 {
+		t.Fatal("wipe left shards behind")
+	}
+}

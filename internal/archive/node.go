@@ -1,0 +1,229 @@
+package archive
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+)
+
+// Node-level errors. ErrNodeDown and ErrShardMissing are permanent until
+// the node is revived or the shard rewritten; ErrNodeTransient models a
+// flaky I/O path where retrying (or reading the peer shards) is the right
+// response — the archive's degraded-read machinery treats all three as "a
+// shard I cannot use right now".
+var (
+	ErrNodeDown      = errors.New("archive: node is down")
+	ErrShardMissing  = errors.New("archive: shard missing")
+	ErrNodeTransient = errors.New("archive: transient node I/O error")
+)
+
+// ShardID names one stored shard: shard Index of stripe Stripe.
+type ShardID struct {
+	Stripe uint64
+	Index  int
+}
+
+// Node is one simulated storage target in the archive's stripe group,
+// with fault injection in the FaultyStore/FlakyConn tradition: a node can
+// crash (Kill/Revive), lose all state (Wipe — a replaced node comes back
+// empty), silently rot stored bits (CorruptShard), truncate shards
+// (TruncateShard), and fail operations transiently (FailEveryOps). All
+// methods are goroutine-safe. Fault injection is driven by caller-seeded
+// randomness so failing runs replay exactly.
+type Node struct {
+	id int
+
+	mu     sync.Mutex
+	shards map[ShardID][]byte
+	down   bool
+
+	opsUntilErr int64 // -1 disarmed
+	rearmEvery  int64
+}
+
+// NewNode returns a healthy, empty node.
+func NewNode(id int) *Node {
+	return &Node{id: id, shards: make(map[ShardID][]byte), opsUntilErr: -1}
+}
+
+// ID returns the node's index in its stripe group.
+func (n *Node) ID() int { return n.id }
+
+// Put stores a shard (copying b). It fails when the node is down or a
+// transient fault fires.
+func (n *Node) Put(id ShardID, b []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err := n.tickLocked(); err != nil {
+		return err
+	}
+	n.shards[id] = append([]byte(nil), b...)
+	return nil
+}
+
+// Get returns a copy of a stored shard.
+func (n *Node) Get(id ShardID) ([]byte, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err := n.tickLocked(); err != nil {
+		return nil, err
+	}
+	b, ok := n.shards[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: node %d %v", ErrShardMissing, n.id, id)
+	}
+	// A non-nil copy even for empty shards: callers use nil to mean
+	// "shard unavailable".
+	c := make([]byte, len(b))
+	copy(c, b)
+	return c, nil
+}
+
+// Delete removes a shard if present. Deleting on a down node is a no-op:
+// the data is unreachable either way.
+func (n *Node) Delete(id ShardID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.shards, id)
+}
+
+// Len reports how many shards the node holds (including while down).
+func (n *Node) Len() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.shards)
+}
+
+// ShardIDs returns the stored shard identities in deterministic order,
+// for persistence and tests.
+func (n *Node) ShardIDs() []ShardID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ids := make([]ShardID, 0, len(n.shards))
+	for id := range n.shards {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if ids[a].Stripe != ids[b].Stripe {
+			return ids[a].Stripe < ids[b].Stripe
+		}
+		return ids[a].Index < ids[b].Index
+	})
+	return ids
+}
+
+// Kill takes the node down: every Put/Get fails with ErrNodeDown until
+// Revive. Stored shards are retained (a crashed-but-intact node).
+func (n *Node) Kill() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down = true
+}
+
+// Revive brings a killed node back.
+func (n *Node) Revive() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down = false
+}
+
+// Down reports whether the node is currently killed.
+func (n *Node) Down() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down
+}
+
+// Wipe discards all stored shards — Kill+Wipe+Revive models replacing a
+// failed node with fresh, empty hardware.
+func (n *Node) Wipe() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.shards = make(map[ShardID][]byte)
+}
+
+// FailEveryOps arms recurring transient faults: every k-th operation
+// (Put or Get) fails with ErrNodeTransient. k <= 0 disarms.
+func (n *Node) FailEveryOps(k int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if k <= 0 {
+		n.opsUntilErr = -1
+		n.rearmEvery = 0
+		return
+	}
+	n.opsUntilErr = k - 1
+	n.rearmEvery = k
+}
+
+// CorruptShard flips one random bit of one random stored shard (silent
+// bit-rot — the node itself never notices). Returns the affected shard
+// and false when the node stores nothing corruptible.
+func (n *Node) CorruptShard(rng *rand.Rand) (ShardID, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	id, ok := n.pickLocked(rng, func(b []byte) bool { return len(b) > 0 })
+	if !ok {
+		return ShardID{}, false
+	}
+	b := n.shards[id]
+	b[rng.IntN(len(b))] ^= 1 << rng.IntN(8)
+	return id, true
+}
+
+// TruncateShard cuts a random stored shard short by at least one byte,
+// modelling a torn write. Returns false when nothing can be truncated.
+func (n *Node) TruncateShard(rng *rand.Rand) (ShardID, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	id, ok := n.pickLocked(rng, func(b []byte) bool { return len(b) > 0 })
+	if !ok {
+		return ShardID{}, false
+	}
+	b := n.shards[id]
+	n.shards[id] = b[:rng.IntN(len(b))]
+	return id, true
+}
+
+// pickLocked chooses a uniformly random stored shard satisfying keep,
+// deterministically given the rng: candidates are enumerated in sorted
+// order so map iteration order cannot leak into the replayable fault
+// sequence.
+func (n *Node) pickLocked(rng *rand.Rand, keep func([]byte) bool) (ShardID, bool) {
+	ids := make([]ShardID, 0, len(n.shards))
+	for id, b := range n.shards {
+		if keep(b) {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return ShardID{}, false
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if ids[a].Stripe != ids[b].Stripe {
+			return ids[a].Stripe < ids[b].Stripe
+		}
+		return ids[a].Index < ids[b].Index
+	})
+	return ids[rng.IntN(len(ids))], true
+}
+
+// tickLocked advances the transient-fault counter and reports node state.
+func (n *Node) tickLocked() error {
+	if n.down {
+		return fmt.Errorf("%w: node %d", ErrNodeDown, n.id)
+	}
+	if n.opsUntilErr < 0 {
+		return nil
+	}
+	if n.opsUntilErr == 0 {
+		if n.rearmEvery > 0 {
+			n.opsUntilErr = n.rearmEvery - 1 //ipvet:ignore locksafe -- xxxLocked helper: every caller holds n.mu
+		}
+		return fmt.Errorf("%w: node %d", ErrNodeTransient, n.id)
+	}
+	n.opsUntilErr-- //ipvet:ignore locksafe -- xxxLocked helper: every caller holds n.mu
+	return nil
+}

@@ -1,0 +1,241 @@
+package archive
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Coder errors.
+var (
+	// ErrShardCount reports an invalid (data, parity) configuration or a
+	// shard slice of the wrong arity.
+	ErrShardCount = errors.New("archive: invalid shard count")
+	// ErrShardSize reports shards of unequal length.
+	ErrShardSize = errors.New("archive: shards differ in size")
+	// ErrTooFewShards reports that fewer than k shards survive, so the
+	// stripe is unrecoverable.
+	ErrTooFewShards = errors.New("archive: too few shards to reconstruct")
+)
+
+// maxShards bounds k+m: the Cauchy construction below needs 2·n distinct
+// field elements, and shard indices are bytes on the wire.
+const maxShards = 128
+
+// Coder is a systematic Reed–Solomon erasure coder over GF(2^8): Encode
+// turns k equal-length data shards into k+m shards (the first k are the
+// data verbatim), and Reconstruct rebuilds any missing shards from any k
+// survivors. A Coder is immutable after NewCoder and safe for concurrent
+// use.
+//
+// The generator is the extended Cauchy matrix [I; C] with
+// C[i][j] = 1/(x_i ⊕ y_j), x_i = k+i, y_j = j. Every k×k submatrix of an
+// extended Cauchy matrix is invertible, which is exactly the MDS property
+// the k-of-n guarantee needs (and which the property tests in rs_test.go
+// verify exhaustively for the supported grid).
+type Coder struct {
+	k, m   int
+	matrix [][]byte // (k+m)×k; rows 0..k-1 are the identity
+}
+
+// NewCoder builds a coder for k data and m parity shards.
+func NewCoder(dataShards, parityShards int) (*Coder, error) {
+	k, m := dataShards, parityShards
+	if k < 1 || m < 0 || k+m > maxShards {
+		return nil, fmt.Errorf("%w: data=%d parity=%d", ErrShardCount, k, m)
+	}
+	matrix := make([][]byte, k+m)
+	for i := range matrix {
+		row := make([]byte, k)
+		if i < k {
+			row[i] = 1
+		} else {
+			for j := 0; j < k; j++ {
+				row[j] = gfInv(byte(i) ^ byte(j))
+			}
+		}
+		matrix[i] = row
+	}
+	return &Coder{k: k, m: m, matrix: matrix}, nil
+}
+
+// DataShards returns k.
+func (c *Coder) DataShards() int { return c.k }
+
+// ParityShards returns m.
+func (c *Coder) ParityShards() int { return c.m }
+
+// TotalShards returns n = k+m.
+func (c *Coder) TotalShards() int { return c.k + c.m }
+
+// checkShards validates that present shards share one size, which it
+// returns. needAll additionally rejects nil shards.
+func (c *Coder) checkShards(shards [][]byte, needAll bool) (int, error) {
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			if needAll {
+				return 0, fmt.Errorf("%w: shard %d missing", ErrShardCount, i)
+			}
+			continue
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return 0, fmt.Errorf("%w: shard %d is %d bytes, want %d", ErrShardSize, i, len(s), size)
+		}
+	}
+	if size == -1 {
+		return 0, fmt.Errorf("%w: all %d shards missing", ErrTooFewShards, len(shards))
+	}
+	return size, nil
+}
+
+// Encode fills the m parity shards from the k data shards. shards must
+// have k+m entries; the first k must be equal-length data, and the last m
+// are overwritten (allocated if nil or mis-sized).
+func (c *Coder) Encode(shards [][]byte) error {
+	if len(shards) != c.k+c.m {
+		return fmt.Errorf("%w: got %d, want %d", ErrShardCount, len(shards), c.k+c.m)
+	}
+	size, err := c.checkShards(shards[:c.k], true)
+	if err != nil {
+		return err
+	}
+	for i := c.k; i < c.k+c.m; i++ {
+		if len(shards[i]) != size {
+			shards[i] = make([]byte, size)
+		} else {
+			clear(shards[i])
+		}
+		row := c.matrix[i]
+		for j := 0; j < c.k; j++ {
+			mulAddRow(shards[i], shards[j], row[j])
+		}
+	}
+	return nil
+}
+
+// Reconstruct rebuilds every nil shard in place from any k present
+// shards. Present shards are trusted (callers verify CRCs first and nil
+// out corrupt entries). Returns ErrTooFewShards when fewer than k
+// survive.
+func (c *Coder) Reconstruct(shards [][]byte) error {
+	return c.reconstruct(shards, false)
+}
+
+// ReconstructData rebuilds only the missing data shards (enough to read a
+// stripe) without re-encoding missing parity.
+func (c *Coder) ReconstructData(shards [][]byte) error {
+	return c.reconstruct(shards, true)
+}
+
+func (c *Coder) reconstruct(shards [][]byte, dataOnly bool) error {
+	if len(shards) != c.k+c.m {
+		return fmt.Errorf("%w: got %d, want %d", ErrShardCount, len(shards), c.k+c.m)
+	}
+	size, err := c.checkShards(shards, false)
+	if err != nil {
+		return err
+	}
+	present := 0
+	for _, s := range shards {
+		if s != nil {
+			present++
+		}
+	}
+	if present == len(shards) {
+		return nil
+	}
+	if present < c.k {
+		return fmt.Errorf("%w: %d of %d present, need %d", ErrTooFewShards, present, len(shards), c.k)
+	}
+
+	// Take the generator rows of k surviving shards and invert that k×k
+	// system: decode[r] · survivors recovers data shard r.
+	sub := make([][]byte, 0, c.k)
+	survivors := make([][]byte, 0, c.k)
+	for i, s := range shards {
+		if s != nil && len(sub) < c.k {
+			sub = append(sub, c.matrix[i])
+			survivors = append(survivors, s)
+		}
+	}
+	decode, err := invertMatrix(sub)
+	if err != nil {
+		return err
+	}
+	data := make([][]byte, c.k)
+	for r := 0; r < c.k; r++ {
+		if shards[r] != nil {
+			data[r] = shards[r]
+			continue
+		}
+		out := make([]byte, size)
+		for j, s := range survivors {
+			mulAddRow(out, s, decode[r][j])
+		}
+		data[r] = out
+		shards[r] = out
+	}
+	if dataOnly {
+		return nil
+	}
+	for i := c.k; i < c.k+c.m; i++ {
+		if shards[i] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		row := c.matrix[i]
+		for j := 0; j < c.k; j++ {
+			mulAddRow(out, data[j], row[j])
+		}
+		shards[i] = out
+	}
+	return nil
+}
+
+// invertMatrix returns the inverse of a square matrix over GF(2^8) by
+// Gauss–Jordan elimination on the augmented system. The extended Cauchy
+// construction guarantees invertibility for every submatrix a Coder can
+// pass here; the error path guards against misuse.
+func invertMatrix(m [][]byte) ([][]byte, error) {
+	n := len(m)
+	// Augmented work matrix [m | I].
+	work := make([][]byte, n)
+	for i := range work {
+		row := make([]byte, 2*n)
+		copy(row, m[i])
+		row[n+i] = 1
+		work[i] = row
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot == -1 {
+			return nil, errors.New("archive: singular decode matrix")
+		}
+		work[col], work[pivot] = work[pivot], work[col]
+		if p := work[col][col]; p != 1 {
+			inv := gfInv(p)
+			for j := range work[col] {
+				work[col][j] = gfMul(work[col][j], inv)
+			}
+		}
+		for r := 0; r < n; r++ {
+			if r == col || work[r][col] == 0 {
+				continue
+			}
+			mulAddRow(work[r], work[col], work[r][col])
+		}
+	}
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = work[i][n:]
+	}
+	return out, nil
+}

@@ -1,0 +1,194 @@
+package archive
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestGFFieldAxioms(t *testing.T) {
+	// Spot-check the tables against schoolbook carry-less multiplication.
+	slowMul := func(a, b byte) byte {
+		var p byte
+		for b > 0 {
+			if b&1 != 0 {
+				p ^= a
+			}
+			high := a&0x80 != 0
+			a <<= 1
+			if high {
+				a ^= 0x1d
+			}
+			b >>= 1
+		}
+		return p
+	}
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if got, want := gfMul(byte(a), byte(b)), slowMul(byte(a), byte(b)); got != want {
+				t.Fatalf("gfMul(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+	for a := 1; a < 256; a++ {
+		if got := gfMul(byte(a), gfInv(byte(a))); got != 1 {
+			t.Fatalf("a·a⁻¹ = %d for a=%d", got, a)
+		}
+		if got := gfDiv(byte(a), byte(a)); got != 1 {
+			t.Fatalf("a/a = %d for a=%d", got, a)
+		}
+	}
+	if gfMul(0, 7) != 0 || gfMul(7, 0) != 0 || gfDiv(0, 7) != 0 {
+		t.Fatal("zero laws violated")
+	}
+}
+
+func TestNewCoderRejectsBadShapes(t *testing.T) {
+	for _, tc := range [][2]int{{0, 1}, {-1, 2}, {1, -1}, {maxShards, 1}} {
+		if _, err := NewCoder(tc[0], tc[1]); err == nil {
+			t.Errorf("NewCoder(%d,%d): want error", tc[0], tc[1])
+		}
+	}
+	if _, err := NewCoder(1, 0); err != nil {
+		t.Errorf("NewCoder(1,0): %v", err)
+	}
+}
+
+// subsets enumerates either every k-subset of n (when their count is
+// small) or a deterministic sample, as index bitmasks.
+func subsets(n, k int, limit int, rng *rand.Rand) []uint32 {
+	var all []uint32
+	var rec func(start int, mask uint32, left int)
+	rec = func(start int, mask uint32, left int) {
+		if len(all) > limit {
+			return
+		}
+		if left == 0 {
+			all = append(all, mask)
+			return
+		}
+		for i := start; i <= n-left; i++ {
+			rec(i+1, mask|1<<i, left-1)
+		}
+	}
+	rec(0, 0, k)
+	if len(all) <= limit {
+		return all
+	}
+	// Too many to enumerate: deterministic sample of random k-subsets.
+	out := make([]uint32, 0, limit)
+	for len(out) < limit {
+		var mask uint32
+		for count := 0; count < k; {
+			b := uint32(1) << rng.IntN(n)
+			if mask&b == 0 {
+				mask |= b
+				count++
+			}
+		}
+		out = append(out, mask)
+	}
+	return out
+}
+
+// TestReconstructFromAnyKSubset is the acceptance property: for every
+// (k, m) with k+m <= 16, dropping all shards outside any k-subset still
+// reconstructs every shard byte-for-byte. Subsets are exhaustive up to
+// 512 per shape, then deterministically sampled.
+func TestReconstructFromAnyKSubset(t *testing.T) {
+	rng := rand.New(rand.NewPCG(20260808, 1))
+	payload := make([]byte, 16*9)
+	for i := range payload {
+		payload[i] = byte(rng.IntN(256))
+	}
+	for k := 1; k <= 15; k++ {
+		for m := 1; k+m <= 16; m++ {
+			coder, err := NewCoder(k, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := k + m
+			shardSize := 9
+			want := make([][]byte, n)
+			for j := 0; j < k; j++ {
+				want[j] = payload[j*shardSize : (j+1)*shardSize]
+			}
+			if err := coder.Encode(want); err != nil {
+				t.Fatalf("k=%d m=%d encode: %v", k, m, err)
+			}
+			for _, mask := range subsets(n, k, 512, rng) {
+				shards := make([][]byte, n)
+				for j := 0; j < n; j++ {
+					if mask&(1<<j) != 0 {
+						shards[j] = append([]byte(nil), want[j]...)
+					}
+				}
+				if err := coder.Reconstruct(shards); err != nil {
+					t.Fatalf("k=%d m=%d mask=%b reconstruct: %v", k, m, mask, err)
+				}
+				for j := 0; j < n; j++ {
+					if !bytes.Equal(shards[j], want[j]) {
+						t.Fatalf("k=%d m=%d mask=%b shard %d mismatch", k, m, mask, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReconstructDataOnly(t *testing.T) {
+	coder, err := NewCoder(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([][]byte, 7)
+	for j := 0; j < 4; j++ {
+		shards[j] = bytes.Repeat([]byte{byte(j + 1)}, 8)
+	}
+	if err := coder.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), shards[1]...)
+	shards[1] = nil // lost data shard
+	shards[5] = nil // lost parity shard
+	if err := coder.ReconstructData(shards); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(shards[1], want) {
+		t.Fatal("data shard 1 not restored")
+	}
+	if shards[5] != nil {
+		t.Fatal("ReconstructData should leave parity missing")
+	}
+}
+
+func TestReconstructTooFewShards(t *testing.T) {
+	coder, err := NewCoder(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([][]byte, 5)
+	for j := 0; j < 3; j++ {
+		shards[j] = []byte{1, 2, 3}
+	}
+	if err := coder.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	shards[0], shards[1], shards[4] = nil, nil, nil
+	if err := coder.Reconstruct(shards); err == nil {
+		t.Fatal("want ErrTooFewShards")
+	}
+}
+
+func TestEncodeRejectsUnequalShards(t *testing.T) {
+	coder, err := NewCoder(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coder.Encode([][]byte{{1, 2}, {3}, nil}); err == nil {
+		t.Fatal("want ErrShardSize")
+	}
+	if err := coder.Encode([][]byte{{1, 2}, {3, 4}}); err == nil {
+		t.Fatal("want ErrShardCount")
+	}
+}

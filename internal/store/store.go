@@ -22,6 +22,7 @@ import (
 	"io"
 	"sync"
 
+	"ipdelta/internal/archive"
 	"ipdelta/internal/codec"
 	"ipdelta/internal/delta"
 	"ipdelta/internal/diff"
@@ -45,18 +46,31 @@ type release struct {
 }
 
 // storeMetrics holds the pre-resolved stage handles of an observed Store
-// (DESIGN.md §10). The cache resolves its own counters.
+// (DESIGN.md §10, §12). The cache resolves its own counters.
 type storeMetrics struct {
 	materialize obs.Stage    // cold chain replays
 	compose     obs.Stage    // cold delta compositions
 	replays     *obs.Counter // chain links applied by materializations
+
+	archiveBuild  obs.Stage    // Store.Archive segment builds
+	archiveRead   obs.Stage    // archival-tier materializations
+	archiveReads  *obs.Counter // versions served from the archive tier
+	archiveFalls  *obs.Counter // tier reads that fell back to the chain
+	archivedSegs  *obs.Counter // segments striped into the archive
+	archiveRDepth *obs.Counter // reverse deltas applied by tier reads
 }
 
 func resolveStoreMetrics(r *obs.Registry) *storeMetrics {
 	return &storeMetrics{
-		materialize: r.Stage("ipdelta_store_stage_materialize_nanos"),
-		compose:     r.Stage("ipdelta_store_stage_compose_nanos"),
-		replays:     r.Counter("ipdelta_store_chain_replays_total"),
+		materialize:   r.Stage("ipdelta_store_stage_materialize_nanos"),
+		compose:       r.Stage("ipdelta_store_stage_compose_nanos"),
+		replays:       r.Counter("ipdelta_store_chain_replays_total"),
+		archiveBuild:  r.Stage("ipdelta_store_stage_archive_build_nanos"),
+		archiveRead:   r.Stage("ipdelta_store_stage_archive_read_nanos"),
+		archiveReads:  r.Counter("ipdelta_store_archive_reads_total"),
+		archiveFalls:  r.Counter("ipdelta_store_archive_fallbacks_total"),
+		archivedSegs:  r.Counter("ipdelta_store_archive_segments_total"),
+		archiveRDepth: r.Counter("ipdelta_store_archive_reverse_replays_total"),
 	}
 }
 
@@ -70,6 +84,14 @@ type Store struct {
 	algo     diff.Algorithm
 	cache    *matCache
 	met      *storeMetrics
+
+	// Archival tier (archive.go): cold chain segments striped as erasure
+	// codes. archUpTo/anchor are guarded by mu; each anchor value is
+	// immutable once published.
+	arch     *archive.Archive
+	segSize  int
+	archUpTo int    // highest archived version, -1 when none
+	anchor   []byte // full image of version archUpTo (skip anchor)
 
 	// Construction-time knobs recorded by options, consumed by finish.
 	cacheSize int
@@ -109,8 +131,10 @@ func WithObserver(r *obs.Registry) Option {
 // New creates a store whose first version is base.
 func New(base []byte, opts ...Option) *Store {
 	s := &Store{
-		base: append([]byte(nil), base...),
-		algo: diff.NewLinear(),
+		base:     append([]byte(nil), base...),
+		algo:     diff.NewLinear(),
+		segSize:  DefaultArchiveSegment,
+		archUpTo: -1,
 	}
 	for _, o := range opts {
 		o(s)
@@ -180,17 +204,32 @@ func (s *Store) Version(i int) ([]byte, error) {
 }
 
 // materialize replays the delta chain up to version i, starting from the
-// deepest cached ancestor when a cache is available. The bounds of i were
-// checked by the caller; the chain below i is immutable, so the releases
-// snapshot stays valid after the lock is dropped.
+// deepest cached ancestor when a cache is available. Versions at or below
+// the archive boundary are served from the archival tier (reconstructing
+// through the erasure code when nodes are down), falling back to the
+// retained chain if the tier cannot serve; versions above it replay from
+// the skip anchor, so hot-head materialization stays O(head − archUpTo)
+// deltas deep no matter how long the cold history grows. The bounds of i
+// were checked by the caller; the chain below i is immutable, so the
+// releases snapshot stays valid after the lock is dropped.
 func (s *Store) materialize(i int, c *matCache) ([]byte, error) {
+	if img, ok := s.tierRead(i); ok {
+		// The image is freshly reconstructed from shards, so handing it
+		// out (or caching it as a shared artifact) aliases nothing.
+		return img, nil
+	}
 	var span obs.Span
 	if s.met != nil {
 		span = s.met.materialize.Start()
 	}
 	start, cur := 0, s.base
+	s.mu.RLock()
+	if s.archUpTo >= 0 && i >= s.archUpTo {
+		start, cur = s.archUpTo, s.anchor
+	}
+	s.mu.RUnlock()
 	if c != nil {
-		if k, img, ok := c.nearestVersion(i); ok {
+		if k, img, ok := c.nearestVersion(i); ok && k >= start {
 			start, cur = k, img
 		}
 	}
@@ -362,16 +401,31 @@ func (s *Store) FullBytes() int64 {
 // container framing for Save/Load.
 var storeMagic = [4]byte{'I', 'P', 'S', 'T'}
 
-// Save serializes the store: magic, version count, base image, then each
+// storeFormatVersion is the container format generation. Version 2 added
+// the format byte itself plus a per-release identity frame (CRC32 and
+// length, base included) that Load verifies while replaying the chain, so
+// a bit-flip that still decodes and applies is caught instead of being
+// silently accepted.
+const storeFormatVersion = 2
+
+// Save serializes the store: magic, format version, version count, base
+// image, the identity frame (CRC32 + length of every release), then each
 // delta in the ordered wire format.
 func (s *Store) Save() ([]byte, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var buf bytes.Buffer
 	buf.Write(storeMagic[:])
+	buf.WriteByte(storeFormatVersion)
 	writeUvarint(&buf, uint64(len(s.releases)))
 	writeUvarint(&buf, uint64(len(s.base)))
 	buf.Write(s.base)
+	var id [4]byte
+	for _, r := range s.releases {
+		binary.LittleEndian.PutUint32(id[:], r.crc)
+		buf.Write(id[:])
+		writeUvarint(&buf, uint64(r.length))
+	}
 	for _, r := range s.releases[1:] {
 		// Length-prefix each delta: the codec decoder buffers its reader,
 		// so deltas must be isolated when decoding from one stream.
@@ -385,24 +439,50 @@ func (s *Store) Save() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Load restores a store serialized by Save.
+// Load restores a store serialized by Save, verifying every replayed
+// version against the identity frame recorded by Save. All length fields
+// are checked against the remaining input before allocation, so a hostile
+// few-byte container cannot demand gigabytes.
 func Load(data []byte, opts ...Option) (*Store, error) {
 	r := bytes.NewReader(data)
 	var m [4]byte
-	if _, err := r.Read(m[:]); err != nil || m != storeMagic {
+	if _, err := io.ReadFull(r, m[:]); err != nil || m != storeMagic {
 		return nil, ErrCorrupt
 	}
+	ver, err := r.ReadByte()
+	if err != nil || ver != storeFormatVersion {
+		return nil, fmt.Errorf("%w: unsupported format version", ErrCorrupt)
+	}
 	count, err := binary.ReadUvarint(r)
-	if err != nil || count == 0 {
+	// Each release carries at least 5 identity bytes, so a count claiming
+	// more than the remaining input could describe is hostile.
+	if err != nil || count == 0 || count > uint64(r.Len())/5+1 {
 		return nil, ErrCorrupt
 	}
 	baseLen, err := binary.ReadUvarint(r)
-	if err != nil {
+	if err != nil || baseLen > uint64(r.Len()) {
 		return nil, ErrCorrupt
 	}
 	base := make([]byte, baseLen)
 	if _, err := io.ReadFull(r, base); err != nil {
 		return nil, ErrCorrupt
+	}
+	crcs := make([]uint32, count)
+	lengths := make([]int64, count)
+	var id [4]byte
+	for k := uint64(0); k < count; k++ {
+		if _, err := io.ReadFull(r, id[:]); err != nil {
+			return nil, fmt.Errorf("%w: identity frame truncated", ErrCorrupt)
+		}
+		crcs[k] = binary.LittleEndian.Uint32(id[:])
+		length, err := binary.ReadUvarint(r)
+		if err != nil || length > uint64(1)<<62 {
+			return nil, fmt.Errorf("%w: identity frame length", ErrCorrupt)
+		}
+		lengths[k] = int64(length)
+	}
+	if crc32.ChecksumIEEE(base) != crcs[0] || int64(len(base)) != lengths[0] {
+		return nil, fmt.Errorf("%w: base image fails its stored CRC", ErrCorrupt)
 	}
 	s := New(base, opts...)
 	cur := base
@@ -423,9 +503,12 @@ func Load(data []byte, opts ...Option) (*Store, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: delta %d does not apply: %v", ErrCorrupt, k, err)
 		}
+		if crc32.ChecksumIEEE(next) != crcs[k] || int64(len(next)) != lengths[k] {
+			return nil, fmt.Errorf("%w: version %d fails its stored CRC", ErrCorrupt, k)
+		}
 		s.releases = append(s.releases, release{
-			crc:    crc32.ChecksumIEEE(next),
-			length: int64(len(next)),
+			crc:    crcs[k],
+			length: lengths[k],
 			d:      d,
 		})
 		cur = next
