@@ -3,15 +3,22 @@
 // part, the in-place delta is streamed and applied with a bounded working
 // buffer, and the updated image is written back.
 //
+// By default the client speaks protocol v2 — one framed, multiplexed
+// connection with each session attempt on a fresh stream — falling back
+// to the deprecated v1 single-stream protocol when the server does not
+// answer the v2 preface. -protocol pins one or the other.
+//
 // The client is resilient: transient failures are retried with capped
 // exponential backoff (resuming the interrupted update), and persistent
 // delta failures degrade to a full-image transfer. For chaos testing, the
-// -fault-* flags wrap the connection in a seeded network fault injector.
+// -fault-* flags wrap each attempt's connection in a seeded network fault
+// injector.
 //
 // Usage:
 //
-//	updatec -server 127.0.0.1:7070 -image device.img [-capacity N] [-rate BPS]
-//	        [-timeout D] [-retries N] [-fallback-after N] [-metrics] [-v]
+//	updatec -server 127.0.0.1:7070 -image device.img [-protocol auto|v2|v1]
+//	        [-capacity N] [-rate BPS] [-timeout D] [-retries N]
+//	        [-fallback-after N] [-metrics] [-v]
 //	        [-fault-seed N] [-fault-rate P] [-fault-corrupt P] [-fault-drop-after N]
 package main
 
@@ -39,17 +46,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("updatec", flag.ContinueOnError)
 	server := fs.String("server", "127.0.0.1:7070", "update server address")
+	protocol := fs.String("protocol", "auto", "wire protocol: v2 (multiplexed), v1 (deprecated single-stream), auto (v2 with v1 fallback)")
 	imagePath := fs.String("image", "", "installed image file (updated in place on success)")
 	capacity := fs.Int64("capacity", 0, "flash capacity in bytes (default: 2x image size)")
 	rate := fs.Int64("rate", 0, "simulated link rate in bits/second (0 = unthrottled)")
 	workBuf := fs.Int("workbuf", device.DefaultWorkBufSize, "device working buffer size")
-	timeout := fs.Duration("timeout", 0, "per-message I/O deadline inside a session (0 = none)")
-	retries := fs.Int("retries", 8, "maximum session attempts before giving up")
-	fallbackAfter := fs.Int("fallback-after", 3, "consecutive failed delta sessions before requesting the full image (-1 = never)")
-	faultSeed := fs.Uint64("fault-seed", 0, "seed for the network fault injector (and retry jitter)")
-	faultRate := fs.Float64("fault-rate", 0, "injected per-operation connection-drop probability")
-	faultCorrupt := fs.Float64("fault-corrupt", 0, "injected per-read byte-corruption probability")
-	faultDropAfter := fs.Int64("fault-drop-after", 0, "kill each connection after exactly N bytes (0 = never)")
+	var nf netupdate.Flags
+	nf.RegisterClient(fs)
+	nf.RegisterFaults(fs)
 	metrics := fs.Bool("metrics", false, "print a client metrics snapshot (attempts, retries, degradations) to stderr")
 	verbose := fs.Bool("v", false, "log each attempt (structured, stderr)")
 	if err := fs.Parse(args); err != nil {
@@ -57,6 +61,11 @@ func run(args []string) error {
 	}
 	if *imagePath == "" {
 		return errors.New("updatec: -image is required")
+	}
+	switch *protocol {
+	case "auto", "v1", "v2":
+	default:
+		return fmt.Errorf("updatec: unknown -protocol %q (want auto, v2, or v1)", *protocol)
 	}
 	f, err := os.OpenFile(*imagePath, os.O_RDWR, 0)
 	if err != nil {
@@ -80,31 +89,6 @@ func run(args []string) error {
 	}
 	dev := device.New(store, imageLen, *workBuf)
 
-	// Each attempt dials a fresh connection; faults (if configured) get a
-	// per-attempt seed so retries see fresh but reproducible weather.
-	injectFaults := *faultRate > 0 || *faultCorrupt > 0 || *faultDropAfter > 0
-	dials := uint64(0)
-	dial := func(ctx context.Context) (net.Conn, error) {
-		var d net.Dialer
-		conn, err := d.DialContext(ctx, "tcp", *server)
-		if err != nil {
-			return nil, err
-		}
-		c := net.Conn(conn)
-		if *rate > 0 {
-			c = netupdate.NewThrottledConn(c, *rate)
-		}
-		if injectFaults {
-			dials++
-			c = netupdate.NewFlakyConn(c, netupdate.FaultProfile{
-				Seed:           *faultSeed + dials,
-				DropAfterBytes: *faultDropAfter,
-				OpFaultRate:    *faultRate,
-				CorruptRate:    *faultCorrupt,
-			})
-		}
-		return c, nil
-	}
 	logger := obs.NopLogger()
 	if *verbose {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -113,15 +97,16 @@ func run(args []string) error {
 	if *metrics {
 		reg = obs.NewRegistry()
 	}
-	runner := netupdate.NewRunner(netupdate.RunnerConfig{
-		MaxAttempts:       *retries,
-		MessageTimeout:    *timeout,
-		FullFallbackAfter: *fallbackAfter,
-		Seed:              *faultSeed,
-		Observer:          reg,
-		Logger:            logger,
-	})
-	rep, err := runner.Run(context.Background(), dial, dev)
+	opts := append(nf.Options(), netupdate.WithObserver(reg), netupdate.WithLogger(logger))
+
+	dial, cleanup, err := dialer(*server, *protocol, *rate, &nf, opts)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	client := netupdate.NewClient(opts...)
+	rep, err := client.Run(context.Background(), dial, dev)
 	for _, line := range rep.FailureLog {
 		fmt.Fprintln(os.Stderr, "updatec:", line)
 	}
@@ -148,4 +133,65 @@ func run(args []string) error {
 	fmt.Printf("updatec: updated %s in place via %d %s bytes in %d attempt(s) (image now %d bytes)\n",
 		*imagePath, rep.Result.DeltaBytes, how, rep.Attempts, dev.ImageLen())
 	return nil
+}
+
+// dialer builds the per-attempt DialFunc for the chosen protocol. Under
+// v2 one multiplexed connection is dialed up front and each attempt
+// opens a fresh stream on it; under v1 each attempt dials its own TCP
+// connection. Faults (if configured) wrap whatever the attempt sees,
+// with a per-attempt seed so retries get fresh but reproducible weather.
+func dialer(server, protocol string, rate int64, nf *netupdate.Flags, opts []netupdate.Option) (netupdate.DialFunc, func(), error) {
+	link := func(ctx context.Context) (net.Conn, error) {
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "tcp", server)
+		if err != nil {
+			return nil, err
+		}
+		c := net.Conn(conn)
+		if rate > 0 {
+			c = netupdate.NewThrottledConn(c, rate)
+		}
+		return c, nil
+	}
+	attempts := uint64(0)
+	fault := func(c net.Conn) net.Conn {
+		if !nf.FaultsEnabled() {
+			return c
+		}
+		attempts++
+		return netupdate.NewFlakyConn(c, nf.FaultProfile(attempts))
+	}
+
+	if protocol != "v1" {
+		conn, err := link(context.Background())
+		if err != nil {
+			return nil, nil, err
+		}
+		cc, err := netupdate.NewClientConn(conn, opts...)
+		switch {
+		case err == nil:
+			dial := func(ctx context.Context) (net.Conn, error) {
+				st, err := cc.OpenStream(ctx)
+				if err != nil {
+					return nil, err
+				}
+				return fault(st), nil
+			}
+			return dial, func() { cc.Close() }, nil
+		case protocol == "v2" || !errors.Is(err, netupdate.ErrVersionMismatch):
+			conn.Close()
+			return nil, nil, err
+		default:
+			// auto: the server does not speak v2 — fall back to v1.
+			conn.Close()
+		}
+	}
+	dial := func(ctx context.Context) (net.Conn, error) {
+		c, err := link(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return fault(c), nil
+	}
+	return dial, func() {}, nil
 }

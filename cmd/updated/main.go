@@ -4,12 +4,17 @@
 // Usage:
 //
 //	updated -listen 127.0.0.1:7070 [-timeout D] [-failure-budget N]
+//	        [-stream-limit N] [-stream-window N] [-max-frame N]
 //	        [-metrics-addr ADDR] [-diff-workers N] [-v] v1.img v2.img v3.img
 //
 // Images are the release history, oldest first; devices running any of them
-// are upgraded to the last one. -timeout arms a per-message I/O deadline so
-// a stalled client cannot pin a server worker; -failure-budget turns away
-// clients (by remote host) after N consecutive failed sessions;
+// are upgraded to the last one. The server speaks both protocols: framed
+// v2 connections multiplex many concurrent update sessions (bounded by
+// -stream-limit, with per-stream flow-control windows of -stream-window
+// bytes and frames capped at -max-frame), while bare v1 clients are served
+// over the deprecated single-stream shim. -timeout arms a per-message I/O
+// deadline so a stalled client cannot pin a server worker; -failure-budget
+// turns away clients (by remote host) after N consecutive failed sessions;
 // -diff-workers controls how per-release deltas are computed: the default
 // -1 lets the self-selecting engine pick sequential or parallel per input,
 // 0 forces the sequential differencer, and N > 0 forces the parallel
@@ -49,8 +54,9 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("updated", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7070", "listen address")
-	timeout := fs.Duration("timeout", 0, "per-message I/O deadline inside a session (0 = none)")
-	failBudget := fs.Int("failure-budget", 0, "reject a client after N consecutive failed sessions (0 = never)")
+	var nf netupdate.Flags
+	nf.RegisterServer(fs)
+	nf.RegisterTransport(fs)
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics on this HTTP address (empty = disabled)")
 	diffWorkers := fs.Int("diff-workers", -1, "parallel diff workers (-1 = auto-select per input, 0 = sequential)")
 	verbose := fs.Bool("v", false, "log each session (structured, stderr)")
@@ -75,12 +81,10 @@ func run(args []string) error {
 	}
 	reg := obs.NewRegistry()
 	codec.SetObserver(reg)
-	srvOpts := []netupdate.ServerOption{
-		netupdate.WithMessageTimeout(*timeout),
-		netupdate.WithFailureBudget(*failBudget),
+	srvOpts := append(nf.Options(),
 		netupdate.WithObserver(reg),
 		netupdate.WithLogger(logger),
-	}
+	)
 	switch {
 	case *diffWorkers > 0:
 		srvOpts = append(srvOpts, netupdate.WithAlgorithm(diff.NewParallel(*diffWorkers)))

@@ -7,6 +7,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -88,12 +89,18 @@ func run() error {
 	return nil
 }
 
-// session runs one update attempt over a throttled TCP connection.
+// session runs one update attempt over a throttled protocol-v2
+// connection (one multiplexed stream carries the session).
 func session(addr string, dev *device.Device, bitsPerSecond int64) (netupdate.Result, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return netupdate.Result{}, err
 	}
-	defer conn.Close()
-	return netupdate.UpdateDevice(netupdate.NewThrottledConn(conn, bitsPerSecond), dev)
+	cc, err := netupdate.NewClientConn(netupdate.NewThrottledConn(conn, bitsPerSecond))
+	if err != nil {
+		conn.Close()
+		return netupdate.Result{}, err
+	}
+	defer cc.Close()
+	return cc.Update(context.Background(), dev)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -60,7 +61,7 @@ func RunTransfer(pairs []corpus.Pair, rates []int64) (*TransferResult, error) {
 			defer server.Close()
 			_ = srv.HandleConn(server)
 		}()
-		r, err := netupdate.UpdateDevice(client, dev)
+		r, err := netupdate.Run(context.Background(), client, dev)
 		client.Close()
 		wg.Wait()
 		if err != nil {

@@ -42,6 +42,12 @@ type ChaosConfig struct {
 	Devices []ChaosDeviceSpec
 	// Seed feeds every fault injector and backoff jitter in the run.
 	Seed uint64
+	// MuxSessions runs every device's sessions over protocol v2: one
+	// framed multiplexed connection per device, each attempt on a fresh
+	// stream, with the fault injector wrapping the stream instead of the
+	// connection. False keeps the v1 leg: a fresh single-stream pipe per
+	// attempt.
+	MuxSessions bool
 	// DropRate is the per-operation probability that a connection dies.
 	DropRate float64
 	// CorruptRate is the per-read probability of a flipped byte.
@@ -238,34 +244,62 @@ func runChaosDevice(ctx context.Context, cfg ChaosConfig, srv *netupdate.Server,
 	}
 	dev := device.New(store, int64(len(img)), workBuf)
 
-	// Each attempt gets its own synchronous pipe to a fresh server
-	// handler, faulted with a per-attempt seed so retries see fresh (but
-	// reproducible) network weather.
+	// Each attempt gets its own synchronous conduit to the shared server,
+	// faulted with a per-attempt seed so retries see fresh (but
+	// reproducible) network weather. On the v1 leg that conduit is a
+	// whole pipe; on the mux leg it is a fresh stream on the device's one
+	// multiplexed connection, so a fault kills the stream and the
+	// connection shrugs it off.
 	dials := 0
-	dial := func(ctx context.Context) (net.Conn, error) {
-		client, server := net.Pipe()
-		go func() {
-			defer server.Close()
-			_ = srv.HandleConn(server) // per-session errors end that session only
-		}()
+	profile := func() netupdate.FaultProfile {
 		dials++
-		return netupdate.NewFlakyConn(client, netupdate.FaultProfile{
+		return netupdate.FaultProfile{
 			Seed:        seed + uint64(dials),
 			OpFaultRate: cfg.DropRate,
 			CorruptRate: cfg.CorruptRate,
 			SpikeRate:   cfg.SpikeRate,
 			Spike:       cfg.Spike,
-		}), nil
+		}
 	}
-	runner := netupdate.NewRunner(netupdate.RunnerConfig{
-		MaxAttempts:       cfg.MaxAttempts,
-		BaseBackoff:       cfg.BaseBackoff,
-		MessageTimeout:    cfg.MessageTimeout,
-		FullFallbackAfter: cfg.FullFallbackAfter,
-		Seed:              seed,
-		Observer:          cfg.Observer,
-		Logger:            cfg.Logger,
-	})
+	var dial netupdate.DialFunc
+	if cfg.MuxSessions {
+		client, server := net.Pipe()
+		go func() {
+			defer server.Close()
+			_ = srv.HandleConn(server) // returns when the mux connection ends
+		}()
+		cc, err := netupdate.NewClientConn(client)
+		if err != nil {
+			client.Close()
+			return rep, err
+		}
+		defer cc.Close()
+		dial = func(ctx context.Context) (net.Conn, error) {
+			st, err := cc.OpenStream(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return netupdate.NewFlakyConn(st, profile()), nil
+		}
+	} else {
+		dial = func(ctx context.Context) (net.Conn, error) {
+			client, server := net.Pipe()
+			go func() {
+				defer server.Close()
+				_ = srv.HandleConn(server) // per-session errors end that session only
+			}()
+			return netupdate.NewFlakyConn(client, profile()), nil
+		}
+	}
+	runner := netupdate.NewClient(
+		netupdate.WithMaxAttempts(cfg.MaxAttempts),
+		netupdate.WithBaseBackoff(cfg.BaseBackoff),
+		netupdate.WithMessageTimeout(cfg.MessageTimeout),
+		netupdate.WithFullFallbackAfter(cfg.FullFallbackAfter),
+		netupdate.WithSeed(seed),
+		netupdate.WithObserver(cfg.Observer),
+		netupdate.WithLogger(cfg.Logger),
+	)
 	res, err := runner.Run(ctx, dial, dev)
 	rep.Attempts = res.Attempts
 	rep.FellBack = res.FellBack

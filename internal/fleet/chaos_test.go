@@ -84,6 +84,26 @@ func TestChaosFleetConverges(t *testing.T) {
 	}
 }
 
+// TestChaosFleetConvergesOverMux runs the same faulted rollout over
+// protocol v2: one multiplexed connection per device, each attempt on a
+// fresh stream, faults killing streams instead of connections.
+func TestChaosFleetConvergesOverMux(t *testing.T) {
+	cfg := chaosConfig(t, 42)
+	cfg.MuxSessions = true
+	out, err := RunChaos(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(out.String())
+	if out.Converged != out.Devices {
+		t.Fatalf("only %d/%d devices converged over mux (replay with seed %d)",
+			out.Converged, out.Devices, out.Seed)
+	}
+	if out.TotalAttempts <= out.Devices {
+		t.Fatalf("faults never bit: %d attempts for %d devices", out.TotalAttempts, out.Devices)
+	}
+}
+
 func TestChaosDeterministicReplay(t *testing.T) {
 	first, err := RunChaos(context.Background(), chaosConfig(t, 7))
 	if err != nil {

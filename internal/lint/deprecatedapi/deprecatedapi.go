@@ -1,20 +1,29 @@
-// Package deprecatedapi flags calls to the legacy convert entry points
-// that predate the options-based API. ConvertInPlaceWithPolicy and
-// ConvertInPlaceScratch survive only as compatibility shims over
-// ConvertInPlace(d, ref, opts...); new code that reaches for them forks
-// the call surface the observability layer instruments, so the analyzer
-// steers every caller to the one maintained path.
+// Package deprecatedapi flags calls to legacy entry points that predate
+// the options-based APIs. The convert shims ConvertInPlaceWithPolicy and
+// ConvertInPlaceScratch survive only as compatibility wrappers over
+// ConvertInPlace(d, ref, opts...), and the netupdate v1 single-stream
+// surface — UpdateDevice, RunSession with SessionOptions, NewRunner with
+// RunnerConfig — survives only as deprecated wrappers over the shared
+// Config options (Run, NewClient). New code that reaches for any of them
+// forks the call surface the observability layer instruments, so the
+// analyzer steers every caller to the one maintained path.
 //
 // Flagged:
 //
 //	ipdelta.ConvertInPlaceWithPolicy(d, ref, p)   // use WithPolicy(p)
 //	ipdelta.ConvertInPlaceScratch(d, ref, n)      // use WithScratchBudget(n)
+//	netupdate.UpdateDevice(conn, dev)             // use Run(ctx, conn, dev)
+//	netupdate.RunSession(ctx, conn, dev, opts)    // use Run with options
+//	netupdate.NewRunner(cfg)                      // use NewClient with options
 //
-// Only package-level functions defined in the ipdelta root package are
-// matched, so an unrelated method or helper that happens to share a name
-// is left alone. The shims' own declarations are not calls and are never
-// flagged; a caller that must stay on the legacy spelling (for example a
-// pinned compatibility test) can carry an //ipvet:ignore deprecatedapi
+// Where the legacy configuration is a keyed composite literal the
+// analyzer attaches a mechanical SuggestedFix translating each retired
+// SessionOptions / RunnerConfig field to its With* option. Only
+// package-level functions defined in the matched packages are flagged, so
+// an unrelated method or helper that happens to share a name is left
+// alone. The shims' own declarations are not calls and are never flagged;
+// a caller that must stay on the legacy spelling (for example a pinned
+// compatibility test) can carry an //ipvet:ignore deprecatedapi
 // suppression.
 package deprecatedapi
 
@@ -23,17 +32,23 @@ import (
 	"go/ast"
 	"go/types"
 	"regexp"
+	"strings"
 
 	"ipdelta/internal/lint/analysis"
 )
 
-// TargetPattern selects the package whose deprecated entry points are
-// checked: the module root.
+// TargetPattern selects the package whose deprecated convert entry
+// points are checked: the module root.
 var TargetPattern = regexp.MustCompile(`(^|/)ipdelta$`)
 
-// replacements maps each deprecated function to the option-based call
-// that supersedes it and the option constructor a -fix rewrite uses.
-var replacements = map[string]struct {
+// netupdatePattern selects the package carrying the deprecated v1
+// single-stream session API.
+var netupdatePattern = regexp.MustCompile(`(^|/)netupdate$`)
+
+// convertReplacements maps each deprecated convert function to the
+// option-based call that supersedes it and the option constructor a -fix
+// rewrite uses.
+var convertReplacements = map[string]struct {
 	doc    string
 	option string
 }{
@@ -41,11 +56,39 @@ var replacements = map[string]struct {
 	"ConvertInPlaceScratch":    {"ConvertInPlace with WithScratchBudget(n)", "WithScratchBudget"},
 }
 
+// sessionFieldOptions maps each retired SessionOptions / RunnerConfig
+// field to the shared Config option that replaced it.
+var sessionFieldOptions = map[string]string{
+	"MessageTimeout":    "WithMessageTimeout",
+	"RequestFull":       "WithRequestFull",
+	"MaxAttempts":       "WithMaxAttempts",
+	"BaseBackoff":       "WithBaseBackoff",
+	"MaxBackoff":        "WithMaxBackoff",
+	"FullFallbackAfter": "WithFullFallbackAfter",
+	"Seed":              "WithSeed",
+	"Sleep":             "WithSleep",
+	"Observer":          "WithObserver",
+	"Logger":            "WithLogger",
+}
+
+// netupdateReplacements maps each deprecated v1 entry point to its
+// successor. configArg is the index of the legacy config struct argument
+// (-1 when the function takes none).
+var netupdateReplacements = map[string]struct {
+	doc       string
+	successor string
+	configArg int
+}{
+	"UpdateDevice": {"Run(ctx, conn, dev, opts...)", "", -1},
+	"RunSession":   {"Run with the shared Config options (WithMessageTimeout, WithRequestFull, ...)", "Run", 3},
+	"NewRunner":    {"NewClient with the shared Config options (WithMaxAttempts, WithBaseBackoff, ...)", "NewClient", 0},
+}
+
 // Analyzer is the deprecatedapi analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "deprecatedapi",
-	Doc: "flags calls to the deprecated ConvertInPlaceWithPolicy and " +
-		"ConvertInPlaceScratch shims; use ConvertInPlace options instead",
+	Doc: "flags calls to deprecated pre-options APIs: the ConvertInPlace shims " +
+		"and the netupdate v1 session surface (UpdateDevice, RunSession, NewRunner)",
 	Run: run,
 }
 
@@ -66,42 +109,113 @@ func run(pass *analysis.Pass) (any, error) {
 		default:
 			return true
 		}
-		repl, ok := replacements[id.Name]
-		if !ok {
-			return true
-		}
 		fn, ok := pass.ObjectOf(id).(*types.Func)
-		if !ok || fn.Pkg() == nil || !TargetPattern.MatchString(fn.Pkg().Path()) {
+		if !ok || fn.Pkg() == nil {
 			return true
 		}
-		// Methods on some local type that reuse the name are not the
-		// deprecated package-level shims.
+		// Methods on some local type that reuse a deprecated name are not
+		// the package-level shims.
 		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
 			return true
 		}
-		d := analysis.Diagnostic{
-			Pos: call.Pos(),
-			End: call.End(),
-			Message: fmt.Sprintf("%s.%s is deprecated; use %s",
-				fn.Pkg().Name(), fn.Name(), repl.doc),
+		switch {
+		case TargetPattern.MatchString(fn.Pkg().Path()):
+			checkConvert(pass, call, id, qualifier, fn)
+		case netupdatePattern.MatchString(fn.Pkg().Path()):
+			checkNetupdate(pass, call, id, qualifier, fn)
 		}
-		// Both shims are ConvertInPlaceX(d, ref, x); the mechanical
-		// rewrite renames the callee and wraps the third argument in the
-		// superseding option, qualified the way the call site qualifies
-		// the shim.
-		if len(call.Args) == 3 {
-			last := call.Args[2]
-			d.SuggestedFixes = []analysis.SuggestedFix{{
-				Message: fmt.Sprintf("call ConvertInPlace with %s(...)", repl.option),
-				TextEdits: []analysis.TextEdit{
-					{Pos: id.Pos(), End: id.End(), NewText: []byte("ConvertInPlace")},
-					{Pos: last.Pos(), End: last.Pos(), NewText: []byte(qualifier + repl.option + "(")},
-					{Pos: last.End(), End: last.End(), NewText: []byte(")")},
-				},
-			}}
-		}
-		pass.Report(d)
 		return true
 	})
 	return nil, nil
+}
+
+// checkConvert flags the deprecated ConvertInPlace* shims.
+func checkConvert(pass *analysis.Pass, call *ast.CallExpr, id *ast.Ident, qualifier string, fn *types.Func) {
+	repl, ok := convertReplacements[id.Name]
+	if !ok {
+		return
+	}
+	d := analysis.Diagnostic{
+		Pos: call.Pos(),
+		End: call.End(),
+		Message: fmt.Sprintf("%s.%s is deprecated; use %s",
+			fn.Pkg().Name(), fn.Name(), repl.doc),
+	}
+	// Both shims are ConvertInPlaceX(d, ref, x); the mechanical rewrite
+	// renames the callee and wraps the third argument in the superseding
+	// option, qualified the way the call site qualifies the shim.
+	if len(call.Args) == 3 {
+		last := call.Args[2]
+		d.SuggestedFixes = []analysis.SuggestedFix{{
+			Message: fmt.Sprintf("call ConvertInPlace with %s(...)", repl.option),
+			TextEdits: []analysis.TextEdit{
+				{Pos: id.Pos(), End: id.End(), NewText: []byte("ConvertInPlace")},
+				{Pos: last.Pos(), End: last.Pos(), NewText: []byte(qualifier + repl.option + "(")},
+				{Pos: last.End(), End: last.End(), NewText: []byte(")")},
+			},
+		}}
+	}
+	pass.Report(d)
+}
+
+// checkNetupdate flags the deprecated v1 session entry points and, when
+// the legacy config argument is a keyed composite literal, rewrites it
+// field by field into the superseding With* options.
+func checkNetupdate(pass *analysis.Pass, call *ast.CallExpr, id *ast.Ident, qualifier string, fn *types.Func) {
+	repl, ok := netupdateReplacements[id.Name]
+	if !ok {
+		return
+	}
+	d := analysis.Diagnostic{
+		Pos: call.Pos(),
+		End: call.End(),
+		Message: fmt.Sprintf("%s.%s is deprecated; use %s",
+			fn.Pkg().Name(), fn.Name(), repl.doc),
+	}
+	if repl.configArg >= 0 && len(call.Args) == repl.configArg+1 {
+		if lit, ok := ast.Unparen(call.Args[repl.configArg]).(*ast.CompositeLit); ok {
+			if opts, ok := optionsFor(lit, qualifier); ok {
+				edits := []analysis.TextEdit{
+					{Pos: id.Pos(), End: id.End(), NewText: []byte(repl.successor)},
+				}
+				if opts == "" && repl.configArg > 0 {
+					// An empty legacy struct maps to no options at all:
+					// drop the argument and its separating comma.
+					prev := call.Args[repl.configArg-1]
+					edits = append(edits, analysis.TextEdit{Pos: prev.End(), End: lit.End()})
+				} else {
+					edits = append(edits, analysis.TextEdit{Pos: lit.Pos(), End: lit.End(), NewText: []byte(opts)})
+				}
+				d.SuggestedFixes = []analysis.SuggestedFix{{
+					Message: fmt.Sprintf("call %s with the equivalent With* options", repl.successor),
+					TextEdits: edits,
+				}}
+			}
+		}
+	}
+	pass.Report(d)
+}
+
+// optionsFor translates a keyed SessionOptions / RunnerConfig composite
+// literal into the equivalent option-call list. It declines (ok=false)
+// literals with positional elements or fields it has no mapping for, so
+// the rewrite never silently drops configuration.
+func optionsFor(lit *ast.CompositeLit, qualifier string) (string, bool) {
+	var parts []string
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			return "", false
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			return "", false
+		}
+		opt, ok := sessionFieldOptions[key.Name]
+		if !ok {
+			return "", false
+		}
+		parts = append(parts, qualifier+opt+"("+types.ExprString(kv.Value)+")")
+	}
+	return strings.Join(parts, ", "), true
 }

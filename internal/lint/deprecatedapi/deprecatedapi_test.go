@@ -12,3 +12,11 @@ func TestDeprecatedAPI(t *testing.T) {
 	// the result to ipdelta.go.golden.
 	analysistest.RunWithFixes(t, deprecatedapi.Analyzer, "ipdelta")
 }
+
+func TestDeprecatedNetupdateAPI(t *testing.T) {
+	// The v1 single-stream session surface: UpdateDevice, RunSession with
+	// SessionOptions, NewRunner with RunnerConfig. Keyed legacy-config
+	// literals are rewritten field by field into With* options and checked
+	// against netupdate.go.golden.
+	analysistest.RunWithFixes(t, deprecatedapi.Analyzer, "netupdate")
+}

@@ -1,0 +1,109 @@
+// Test package for the deprecatedapi analyzer's netupdate rules. Named
+// netupdate so its own stub declarations resolve to the target package
+// path, the way the real internal/netupdate package's do.
+package netupdate
+
+// Stubs mirroring the real surface: the shared-Config options API and
+// the deprecated v1 single-stream entry points over it.
+
+type (
+	Ctx    struct{}
+	Conn   struct{}
+	Device struct{}
+	Result struct{}
+	Option func()
+	Client struct{}
+)
+
+// Runner is the historical name for Client.
+type Runner = Client
+
+func WithMessageTimeout(d int64) Option { return func() {} }
+
+func WithRequestFull(full bool) Option { return func() {} }
+
+func WithMaxAttempts(n int) Option { return func() {} }
+
+func WithBaseBackoff(d int64) Option { return func() {} }
+
+func WithSeed(seed uint64) Option { return func() {} }
+
+func Run(ctx Ctx, conn Conn, dev *Device, opts ...Option) (Result, error) {
+	return Result{}, nil
+}
+
+func NewClient(opts ...Option) *Client { return &Client{} }
+
+// SessionOptions is the retired per-session config struct.
+type SessionOptions struct {
+	MessageTimeout int64
+	RequestFull    bool
+}
+
+// RunnerConfig is the retired runner config struct. Legacy carries no
+// With* mapping, so literals setting it cannot be rewritten mechanically.
+type RunnerConfig struct {
+	MaxAttempts int
+	BaseBackoff int64
+	Seed        uint64
+	Legacy      int
+}
+
+// The deprecated wrappers call the options API, so the declarations
+// themselves produce no diagnostics.
+func UpdateDevice(conn Conn, dev *Device) (Result, error) {
+	return Run(Ctx{}, conn, dev)
+}
+
+func RunSession(ctx Ctx, conn Conn, dev *Device, opts SessionOptions) (Result, error) {
+	return Run(ctx, conn, dev, WithMessageTimeout(opts.MessageTimeout), WithRequestFull(opts.RequestFull))
+}
+
+func NewRunner(cfg RunnerConfig) *Runner {
+	return NewClient(WithMaxAttempts(cfg.MaxAttempts), WithSeed(cfg.Seed))
+}
+
+func CallsUpdateDevice(conn Conn, dev *Device) (Result, error) {
+	return UpdateDevice(conn, dev) // want `UpdateDevice is deprecated; use Run`
+}
+
+func CallsRunSession(ctx Ctx, conn Conn, dev *Device) (Result, error) {
+	return RunSession(ctx, conn, dev, SessionOptions{MessageTimeout: 5, RequestFull: true}) // want `RunSession is deprecated; use Run with the shared Config options`
+}
+
+func CallsRunSessionEmpty(ctx Ctx, conn Conn, dev *Device) (Result, error) {
+	return RunSession(ctx, conn, dev, SessionOptions{}) // want `RunSession is deprecated`
+}
+
+func CallsNewRunner() *Runner {
+	return NewRunner(RunnerConfig{MaxAttempts: 3, Seed: 9}) // want `NewRunner is deprecated; use NewClient with the shared Config options`
+}
+
+// A literal with a field that has no With* mapping still gets the
+// diagnostic, but no mechanical rewrite.
+func CallsNewRunnerUnmappable() *Runner {
+	return NewRunner(RunnerConfig{Legacy: 1}) // want `NewRunner is deprecated`
+}
+
+// A non-literal config cannot be rewritten mechanically either.
+func CallsNewRunnerVariable(cfg RunnerConfig) *Runner {
+	return NewRunner(cfg) // want `NewRunner is deprecated`
+}
+
+func CallsOptionsAPI(ctx Ctx, conn Conn, dev *Device) (Result, error) {
+	return Run(ctx, conn, dev, WithMessageTimeout(5), WithMaxAttempts(3))
+}
+
+func Suppressed(conn Conn, dev *Device) (Result, error) {
+	return UpdateDevice(conn, dev) //ipvet:ignore deprecatedapi -- pinned v1-compat call
+}
+
+// A method that reuses a deprecated name is not the package-level shim.
+type shim struct{}
+
+func (shim) UpdateDevice(n int64) int64 { return n }
+
+func MethodNameCollision() int64 {
+	var s shim
+	return s.UpdateDevice(8)
+}

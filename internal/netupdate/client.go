@@ -26,6 +26,9 @@ type Result struct {
 }
 
 // SessionOptions tunes one update session.
+//
+// Deprecated: pass the shared Config options (WithMessageTimeout,
+// WithRequestFull) to Run instead.
 type SessionOptions struct {
 	// MessageTimeout arms a fresh read/write deadline before every I/O
 	// operation on the connection, so a stalled peer fails the session
@@ -37,35 +40,46 @@ type SessionOptions struct {
 	RequestFull bool
 }
 
-// UpdateDevice runs one update session for dev over conn. On success the
-// device's flash holds the server's current version. If the device had an
-// interrupted update pending, the session asks for the same delta again and
-// resumes it.
+// UpdateDevice runs one update session for dev over conn.
 //
-// If the connection or power fails mid-update, the device keeps its
-// progress; calling UpdateDevice again with a fresh connection completes
-// the update.
+// Deprecated: use Run, which takes a context and the shared Config
+// options.
 func UpdateDevice(conn net.Conn, dev *device.Device) (Result, error) {
-	return RunSession(context.Background(), conn, dev, SessionOptions{})
+	return Run(context.Background(), conn, dev)
 }
 
-// RunSession is UpdateDevice with a context and per-session options.
-// Cancelling the context aborts in-flight I/O on the connection; the
-// device keeps its resume state, so a later session continues the update.
+// RunSession is one update session with a context and the retired
+// SessionOptions struct.
+//
+// Deprecated: use Run with WithMessageTimeout / WithRequestFull.
 func RunSession(ctx context.Context, conn net.Conn, dev *device.Device, opts SessionOptions) (Result, error) {
+	return Run(ctx, conn, dev,
+		WithMessageTimeout(opts.MessageTimeout), WithRequestFull(opts.RequestFull))
+}
+
+// Run executes one update session for dev over conn — a raw v1
+// connection or one v2 Stream; the wire conversation is identical. On
+// success the device's flash holds the server's current version. If the
+// device had an interrupted update pending, the session asks for the
+// same delta again and resumes it; if the connection or power fails
+// mid-update, the device keeps its progress and a later Run completes
+// it. Cancelling the context aborts in-flight I/O on the connection.
+func Run(ctx context.Context, conn net.Conn, dev *device.Device, opts ...Option) (Result, error) {
+	var cfg Config
+	cfg.apply(opts)
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	stop := cancelOnCtx(ctx, conn)
 	defer stop()
-	c := withDeadlines(conn, opts.MessageTimeout)
+	c := withDeadlines(conn, cfg.MessageTimeout)
 	r := bufio.NewReader(c)
 	w := bufio.NewWriter(c)
 
 	var h hello
 	p, pending := dev.PendingUpdate()
 	switch {
-	case pending && (p.Full || opts.RequestFull):
+	case pending && (p.Full || cfg.RequestFull):
 		// Resuming (or forcing) a full install: the flash is partially
 		// overwritten, so there is no meaningful source CRC to report.
 		h = hello{Updating: p.Full, WantFull: true, Capacity: dev.FlashCapacity()}
@@ -82,7 +96,7 @@ func RunSession(ctx context.Context, conn net.Conn, dev *device.Device, opts Ses
 			return Result{}, err
 		}
 		h = hello{
-			WantFull: opts.RequestFull,
+			WantFull: cfg.RequestFull,
 			ImageCRC: crc,
 			ImageLen: dev.ImageLen(),
 			Capacity: dev.FlashCapacity(),

@@ -16,7 +16,10 @@ type serverMetrics struct {
 	unknownVersion  *obs.Counter
 	budgetRejects   *obs.Counter
 	bytesServed     *obs.Counter
+	v1Sessions      *obs.Counter // connections served through the v1 shim
 	cachedDeltas    *obs.Gauge
+	muxConns        *obs.Gauge // live v2 multiplexed connections
+	muxStreams      *obs.Gauge // live v2 update streams across all conns
 
 	sessionStage  obs.Stage // whole-session wall time
 	msgReadStage  obs.Stage // one framed protocol read
@@ -33,7 +36,10 @@ func resolveServerMetrics(r *obs.Registry) *serverMetrics {
 		unknownVersion:  r.Counter("ipdelta_server_unknown_version_total"),
 		budgetRejects:   r.Counter("ipdelta_server_budget_rejects_total"),
 		bytesServed:     r.Counter("ipdelta_server_bytes_served_total"),
+		v1Sessions:      r.Counter("ipdelta_server_v1_sessions_total"),
 		cachedDeltas:    r.Gauge("ipdelta_server_cached_deltas"),
+		muxConns:        r.Gauge("ipdelta_server_mux_conns"),
+		muxStreams:      r.Gauge("ipdelta_server_mux_streams"),
 		sessionStage:    r.Stage("ipdelta_server_session_nanos"),
 		msgReadStage:    r.Stage("ipdelta_server_msg_read_nanos"),
 		msgWriteStage:   r.Stage("ipdelta_server_msg_write_nanos"),

@@ -1,0 +1,8 @@
+//go:build race
+
+package mux
+
+// raceEnabled reports whether the race detector is compiled in. Allocation
+// gates skip under it: race instrumentation adds shadow allocations that
+// AllocsPerRun counts against the gate.
+const raceEnabled = true

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"log/slog"
 	"net"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"ipdelta/internal/diff"
 	"ipdelta/internal/graph"
 	"ipdelta/internal/inplace"
+	"ipdelta/internal/netupdate/mux"
 	"ipdelta/internal/obs"
 )
 
@@ -34,6 +36,7 @@ type Server struct {
 	scratchBudget int64
 	msgTimeout    time.Duration
 	failBudget    int
+	muxSet        mux.Settings
 
 	obsReg *obs.Registry
 	met    *serverMetrics
@@ -48,86 +51,33 @@ type Server struct {
 	served int64
 }
 
-// ServerOption customizes a Server.
-type ServerOption func(*Server)
-
-// WithFormat selects the wire format for deltas (must be in-place capable;
-// default compact).
-func WithFormat(f codec.Format) ServerOption {
-	return func(s *Server) { s.format = f }
-}
-
-// WithAlgorithm selects the differencing algorithm (default linear).
-func WithAlgorithm(a diff.Algorithm) ServerOption {
-	return func(s *Server) { s.algo = a }
-}
-
-// WithServerPolicy selects the cycle-breaking policy (default
-// locally-minimum).
-func WithServerPolicy(p graph.Policy) ServerOption {
-	return func(s *Server) { s.policy = p }
-}
-
-// WithScratchBudget makes the server prepare bounded-scratch deltas (the
-// stash/unstash extension) for devices whose flash has room for the new
-// image plus the scratch area; other devices receive the plain in-place
-// delta. A little durable scratch recovers most of the compression lost to
-// cycle breaking.
-func WithScratchBudget(n int64) ServerOption {
-	return func(s *Server) {
-		if n < 0 {
-			n = 0
-		}
-		s.scratchBudget = n
-	}
-}
-
-// WithMessageTimeout arms a fresh read/write deadline before every I/O
-// operation of a session, so one stalled or byzantine peer cannot pin a
-// server worker. Zero (the default) disables deadlines.
-func WithMessageTimeout(d time.Duration) ServerOption {
-	return func(s *Server) { s.msgTimeout = d }
-}
-
-// WithFailureBudget rejects further sessions from a client (keyed by its
-// remote host) after n consecutive failed sessions; a successful session
-// resets the counter. Zero (the default) disables the budget.
-func WithFailureBudget(n int) ServerOption {
-	return func(s *Server) { s.failBudget = n }
-}
-
-// WithObserver attaches a metrics registry: the server then records
-// session outcomes (successes, failures, up-to-date, delta vs full-image,
-// unknown-version and budget rejections), bytes served, the delta-cache
-// size, and latency histograms for whole sessions and individual protocol
-// messages. Handles resolve once here; the session path only bumps atomics.
-func WithObserver(r *obs.Registry) ServerOption {
-	return func(s *Server) { s.obsReg = r }
-}
-
-// WithLogger sets the structured logger for per-session outcome lines.
-// The default discards everything.
-func WithLogger(l *slog.Logger) ServerOption {
-	return func(s *Server) { s.log = l }
-}
-
 // NewServer creates a server for the given release history (oldest first).
-// The last entry is the version devices are upgraded to.
-func NewServer(history [][]byte, opts ...ServerOption) (*Server, error) {
+// The last entry is the version devices are upgraded to. Options are the
+// shared netupdate Config options; client-only knobs are ignored.
+func NewServer(history [][]byte, opts ...Option) (*Server, error) {
 	if len(history) == 0 {
 		return nil, fmt.Errorf("netupdate: empty release history")
 	}
-	s := &Server{
-		history:      history,
-		format:       codec.FormatCompact,
-		algo:         diff.NewLinear(),
-		policy:       graph.LocallyMinimum{},
-		cache:        make(map[uint32][]byte),
-		scratchCache: make(map[uint32][]byte),
-		failures:     make(map[string]int),
+	cfg := Config{
+		Format:    codec.FormatCompact,
+		Algorithm: diff.NewLinear(),
+		Policy:    graph.LocallyMinimum{},
 	}
-	for _, o := range opts {
-		o(s)
+	cfg.apply(opts)
+	s := &Server{
+		history:       history,
+		format:        cfg.Format,
+		algo:          cfg.Algorithm,
+		policy:        cfg.Policy,
+		scratchBudget: cfg.ScratchBudget,
+		msgTimeout:    cfg.MessageTimeout,
+		failBudget:    cfg.FailureBudget,
+		obsReg:        cfg.Observer,
+		log:           cfg.Logger,
+		muxSet:        cfg.muxSettings(),
+		cache:         make(map[uint32][]byte),
+		scratchCache:  make(map[uint32][]byte),
+		failures:      make(map[string]int),
 	}
 	if s.obsReg != nil {
 		s.met = resolveServerMetrics(s.obsReg)
@@ -351,9 +301,88 @@ func (s *Server) addServed(n int64) {
 	}
 }
 
-// HandleConn serves one update session on an arbitrary connection,
-// enforcing the per-client failure budget around it.
+// HandleConn serves one connection, negotiating the protocol version
+// from its first byte: a v2 frame (magic 0xD5) starts a multiplexed
+// transport serving one session per stream; anything else falls back to
+// the deprecated v1 single-session protocol, whose first byte is a v1
+// message type.
 func (s *Server) HandleConn(conn net.Conn) error {
+	br := bufio.NewReaderSize(conn, 64<<10)
+	if s.msgTimeout > 0 {
+		// A peer that connects and never speaks cannot pin the worker in
+		// the version sniff.
+		_ = conn.SetReadDeadline(time.Now().Add(s.msgTimeout))
+	}
+	first, err := br.Peek(1)
+	if s.msgTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Time{})
+	}
+	if err != nil {
+		return err
+	}
+	if first[0] == mux.Magic {
+		return s.handleMux(conn, br)
+	}
+	if s.met != nil {
+		s.met.v1Sessions.Inc()
+	}
+	return s.handleSession(&bufferedConn{Conn: conn, r: br})
+}
+
+// bufferedConn reads through a reader that may hold bytes peeked off the
+// wrapped connection during version negotiation; everything else —
+// writes, deadlines, addresses — passes straight through.
+type bufferedConn struct {
+	net.Conn
+	r io.Reader
+}
+
+func (b *bufferedConn) Read(p []byte) (int, error) { return b.r.Read(p) }
+
+// handleMux serves a v2 connection: one update session per accepted
+// stream, each under the same failure-budget and metrics regime as a v1
+// session. It returns nil when the peer shut down deliberately (GOAWAY
+// or clean close) and the transport's terminal error otherwise.
+func (s *Server) handleMux(conn net.Conn, br *bufio.Reader) error {
+	tr, err := mux.Server(conn, br, s.muxSet)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	if s.met != nil {
+		s.met.muxConns.Add(1)
+		defer s.met.muxConns.Add(-1)
+	}
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		st, err := tr.Accept()
+		if err != nil {
+			if errors.Is(err, mux.ErrGoAway) || errors.Is(err, mux.ErrClosed) {
+				return nil
+			}
+			s.log.Warn("mux transport failed",
+				"component", "server", "remote", clientKey(conn.RemoteAddr()),
+				"outcome", "error", "err", err)
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer st.Close()
+			if s.met != nil {
+				s.met.muxStreams.Add(1)
+				defer s.met.muxStreams.Add(-1)
+			}
+			_ = s.handleSession(st) // per-stream errors end that session only
+		}()
+	}
+}
+
+// handleSession serves one update session on an arbitrary connection (a
+// raw v1 conn or one v2 stream), enforcing the per-client failure budget
+// around it.
+func (s *Server) handleSession(conn net.Conn) error {
 	key := clientKey(conn.RemoteAddr())
 	if !s.admit(key) {
 		if s.met != nil {

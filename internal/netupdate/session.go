@@ -19,6 +19,10 @@ import (
 type DialFunc func(ctx context.Context) (net.Conn, error)
 
 // RunnerConfig tunes the retrying update session runner.
+//
+// Deprecated: use NewClient with the shared Config options
+// (WithMaxAttempts, WithBaseBackoff, WithMaxBackoff, WithMessageTimeout,
+// WithFullFallbackAfter, WithSeed, WithSleep, WithObserver, WithLogger).
 type RunnerConfig struct {
 	// MaxAttempts bounds total session attempts (default 8).
 	MaxAttempts int
@@ -49,24 +53,19 @@ type RunnerConfig struct {
 	Logger *slog.Logger
 }
 
-// withDefaults fills unset fields.
-func (c RunnerConfig) withDefaults() RunnerConfig {
-	if c.MaxAttempts <= 0 {
-		c.MaxAttempts = 8
+// asConfig maps the retired struct onto the shared Config.
+func (c RunnerConfig) asConfig() Config {
+	return Config{
+		MaxAttempts:       c.MaxAttempts,
+		BaseBackoff:       c.BaseBackoff,
+		MaxBackoff:        c.MaxBackoff,
+		MessageTimeout:    c.MessageTimeout,
+		FullFallbackAfter: c.FullFallbackAfter,
+		Seed:              c.Seed,
+		Sleep:             c.Sleep,
+		Observer:          c.Observer,
+		Logger:            c.Logger,
 	}
-	if c.BaseBackoff <= 0 {
-		c.BaseBackoff = 100 * time.Millisecond
-	}
-	if c.MaxBackoff <= 0 {
-		c.MaxBackoff = 5 * time.Second
-	}
-	if c.FullFallbackAfter == 0 {
-		c.FullFallbackAfter = 3
-	}
-	if c.Sleep == nil {
-		c.Sleep = sleepCtx
-	}
-	return c
 }
 
 // RunReport summarizes a runner invocation: how hard the update was, not
@@ -82,13 +81,13 @@ type RunReport struct {
 	FailureLog []string
 }
 
-// Runner drives update sessions to convergence: transient faults are
+// Client drives update sessions to convergence: transient faults are
 // retried with capped exponential backoff and seeded jitter (each retry
 // resumes the device where the last attempt died), and persistent delta
-// failures degrade to a full-image transfer. A Runner may be shared by
+// failures degrade to a full-image transfer. A Client may be shared by
 // concurrent Run calls.
-type Runner struct {
-	cfg RunnerConfig
+type Client struct {
+	cfg Config
 	met *clientMetrics
 	log *slog.Logger
 
@@ -96,14 +95,34 @@ type Runner struct {
 	rng *rand.Rand
 }
 
-// NewRunner builds a Runner from cfg (zero fields take defaults).
-func NewRunner(cfg RunnerConfig) *Runner {
-	cfg = cfg.withDefaults()
-	ru := &Runner{cfg: cfg, log: obs.OrNop(cfg.Logger), rng: rand.New(rand.NewPCG(cfg.Seed, 1))}
+// Runner is the historical name for Client.
+//
+// Deprecated: use Client (built with NewClient). Retained as an alias so
+// pre-v2 call sites keep compiling unchanged.
+type Runner = Client
+
+// NewClient builds a retrying update client from the shared Config
+// options (unset knobs take defaults).
+func NewClient(opts ...Option) *Client {
+	var cfg Config
+	cfg.apply(opts)
+	return newClient(cfg)
+}
+
+func newClient(cfg Config) *Client {
+	cfg = cfg.withClientDefaults()
+	cl := &Client{cfg: cfg, log: obs.OrNop(cfg.Logger), rng: rand.New(rand.NewPCG(cfg.Seed, 1))}
 	if cfg.Observer != nil {
-		ru.met = resolveClientMetrics(cfg.Observer)
+		cl.met = resolveClientMetrics(cfg.Observer)
 	}
-	return ru
+	return cl
+}
+
+// NewRunner builds a Runner from the retired RunnerConfig struct.
+//
+// Deprecated: use NewClient with the shared Config options.
+func NewRunner(cfg RunnerConfig) *Runner {
+	return newClient(cfg.asConfig())
 }
 
 // errClass buckets session errors by the right response.
@@ -150,7 +169,7 @@ func classify(err error) errClass {
 // Run updates dev to the server's current version, dialling a fresh
 // connection per attempt, until it converges, turns out to be up to date,
 // exhausts the attempt budget, or hits a fatal error.
-func (ru *Runner) Run(ctx context.Context, dial DialFunc, dev *device.Device) (RunReport, error) {
+func (ru *Client) Run(ctx context.Context, dial DialFunc, dev *device.Device) (RunReport, error) {
 	if ru.met != nil {
 		ru.met.runs.Inc()
 	}
@@ -171,7 +190,7 @@ func (ru *Runner) Run(ctx context.Context, dial DialFunc, dev *device.Device) (R
 	return rep, err
 }
 
-func (ru *Runner) run(ctx context.Context, dial DialFunc, dev *device.Device) (RunReport, error) {
+func (ru *Client) run(ctx context.Context, dial DialFunc, dev *device.Device) (RunReport, error) {
 	var rep RunReport
 	full := false
 	if p, ok := dev.PendingUpdate(); ok && p.Full {
@@ -239,7 +258,7 @@ func (ru *Runner) run(ctx context.Context, dial DialFunc, dev *device.Device) (R
 }
 
 // attempt runs one session on a fresh connection.
-func (ru *Runner) attempt(ctx context.Context, dial DialFunc, dev *device.Device, full bool) (Result, error) {
+func (ru *Client) attempt(ctx context.Context, dial DialFunc, dev *device.Device, full bool) (Result, error) {
 	var span obs.Span
 	if ru.met != nil {
 		span = ru.met.attemptStage.Start()
@@ -250,16 +269,14 @@ func (ru *Runner) attempt(ctx context.Context, dial DialFunc, dev *device.Device
 		return Result{}, err
 	}
 	defer conn.Close()
-	return RunSession(ctx, conn, dev, SessionOptions{
-		MessageTimeout: ru.cfg.MessageTimeout,
-		RequestFull:    full,
-	})
+	return Run(ctx, conn, dev,
+		WithMessageTimeout(ru.cfg.MessageTimeout), WithRequestFull(full))
 }
 
 // backoff returns the capped exponential delay for the given (1-based)
 // attempt, jittered to a uniform value in [d/2, d) so a fleet knocked over
 // together does not reconnect in lockstep.
-func (ru *Runner) backoff(attempt int) time.Duration {
+func (ru *Client) backoff(attempt int) time.Duration {
 	d := ru.cfg.BaseBackoff << (attempt - 1)
 	if d <= 0 || d > ru.cfg.MaxBackoff {
 		d = ru.cfg.MaxBackoff
