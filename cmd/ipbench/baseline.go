@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"runtime"
 	"sort"
 	"testing"
 
+	"ipdelta/internal/chunk"
 	"ipdelta/internal/corpus"
 	"ipdelta/internal/diff"
 	"ipdelta/internal/inplace"
@@ -95,6 +97,38 @@ func makeChain(size, depth int, seed int64) [][]byte {
 		cur = v
 	}
 	return chain
+}
+
+// blockyChurn returns a copy of base with roughly rate of its bytes
+// overwritten in contiguous 32 KiB blocks at scattered offsets — the
+// localized-edit shape chunk dedup exploits. (Scattered single-byte
+// edits at the same rate would touch nearly every chunk and defeat any
+// chunk-granular matcher; real version churn is blocky.)
+func blockyChurn(base []byte, rate float64, seed int64) []byte {
+	out := append([]byte(nil), base...)
+	rng := rand.New(rand.NewSource(seed))
+	const block = 32 << 10
+	if len(out) <= block {
+		rng.Read(out)
+		return out
+	}
+	n := int(float64(len(base)) * rate / block)
+	if n < 1 {
+		n = 1
+	}
+	for k := 0; k < n; k++ {
+		off := rng.Intn(len(out) - block)
+		rng.Read(out[off : off+block])
+	}
+	return out
+}
+
+// sizeLabel renders a byte count as a row-name suffix.
+func sizeLabel(n int) string {
+	if n >= 1<<20 && n%(1<<20) == 0 {
+		return fmt.Sprintf("%dMiB", n>>20)
+	}
+	return fmt.Sprintf("%dKiB", n>>10)
 }
 
 // measure runs fn under testing.Benchmark and records the result. bytes is
@@ -185,7 +219,6 @@ func runBaseline(out io.Writer, outPath string, quick bool, seed int64) error {
 			}
 		}
 	})
-	doc.addRegistry(reg)
 	doc.measure("crwi/build", vbytes, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, _, err := cv.BuildCRWI(d); err != nil {
@@ -234,6 +267,61 @@ func runBaseline(out io.Writer, outPath string, quick bool, seed int64) error {
 		}
 	})
 	ad.Close()
+
+	// Chunked dedup tier: content-defined split and ingest throughput,
+	// then the recipe-diff fast path against the full-image reuse differ
+	// on the same 5%-blocky-churn input at growing sizes. Recipes are
+	// pre-ingested — the recipe rows measure diffing versions the store
+	// already holds, the serving steady state; ingest cost is its own row.
+	// The chunk store and recipe differ share the metrics registry, so the
+	// dedup hit/miss/bytes-saved counters land in the document's metrics.
+	chunkSizes := []int{1 << 20, 16 << 20, 256 << 20}
+	if quick {
+		chunkSizes = []int{1 << 20}
+	}
+	ck, err := chunk.NewChunker(chunk.Params{})
+	if err != nil {
+		return fmt.Errorf("bench-baseline: %w", err)
+	}
+	rd := diff.NewRecipeDiffer(diff.WithRecipeObserver(reg))
+	for _, csz := range chunkSizes {
+		oldImg := make([]byte, csz)
+		rand.New(rand.NewSource(seed)).Read(oldImg)
+		newImg := blockyChurn(oldImg, 0.05, seed+1)
+		label := sizeLabel(csz)
+
+		doc.measure("chunk/split/"+label, int64(csz), func(b *testing.B) {
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				ck.Split(oldImg, func(c []byte) { sink += len(c) })
+			}
+			_ = sink
+		})
+		doc.measure("chunk/ingest/"+label, int64(csz), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fresh := chunk.NewStore()
+				fresh.IngestAll(ck, oldImg)
+			}
+		})
+
+		cstore := chunk.NewStore(chunk.WithObserver(reg))
+		ro := cstore.IngestAll(ck, oldImg)
+		rn := cstore.IngestAll(ck, newImg)
+		doc.measure("recipe/diff/"+label, int64(csz), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rd.DiffRecipes(ro, rn, cstore); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		doc.measure("diff/full/"+label, int64(csz), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dr.Diff(oldImg, newImg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 
 	// Store serving path: materializing the head of a delta chain cold
 	// (full replay per request) versus through the materialization cache
@@ -298,6 +386,10 @@ func runBaseline(out io.Writer, outPath string, quick bool, seed int64) error {
 			}
 		}
 	})
+
+	// Fold the shared registry in once, at the end: the convert stages and
+	// the chunk tier's dedup counters all report through reg.
+	doc.addRegistry(reg)
 
 	f, err := os.Create(outPath)
 	if err != nil {

@@ -73,9 +73,18 @@ func runCompare(out io.Writer, oldPath, newPath string, threshold float64) error
 	regressions := 0
 	compared := 0
 	skipped := 0
+	newRows := 0
 	for _, nr := range newDoc.Results {
 		or, ok := oldBy[nr.Name]
-		if !ok || or.NsPerOp <= 0 {
+		if !ok {
+			// A benchmark added since the old baseline was committed has
+			// nothing to regress against: report it, don't fail on it.
+			newRows++
+			fmt.Fprintf(out, "%-22s %14s %14.0f %8s %10s  %s\n",
+				nr.Name, "-", nr.NsPerOp, "-", "-", "new row (no old measurement)")
+			continue
+		}
+		if or.NsPerOp <= 0 {
 			continue
 		}
 		if skipParallel && (strings.HasPrefix(nr.Name, "diff/parallel/") || nr.Name == "diff/auto") {
@@ -99,11 +108,13 @@ func runCompare(out io.Writer, oldPath, newPath string, threshold float64) error
 		fmt.Fprintf(out, "%-22s %14.0f %14.0f %+7.1f%% %10s  %s\n",
 			nr.Name, or.NsPerOp, nr.NsPerOp, ratio*100, allocNote, verdict)
 	}
+	// New rows alone are not enough: a document sharing zero benchmarks
+	// with the baseline is almost certainly the wrong file, not progress.
 	if compared == 0 && skipped == 0 {
 		return fmt.Errorf("compare: no shared benchmarks between %s and %s", oldPath, newPath)
 	}
-	fmt.Fprintf(out, "\n%d compared, %d regressed, %d skipped (threshold %+.0f%%)\n",
-		compared, regressions, skipped, threshold*100)
+	fmt.Fprintf(out, "\n%d compared, %d regressed, %d skipped, %d new (threshold %+.0f%%)\n",
+		compared, regressions, skipped, newRows, threshold*100)
 	if regressions > 0 {
 		return errRegression{n: regressions}
 	}

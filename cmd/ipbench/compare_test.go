@@ -134,6 +134,33 @@ func TestCompareDetectsNewAllocations(t *testing.T) {
 	}
 }
 
+// TestCompareToleratesNewRows pins the new-row behavior: benchmarks that
+// exist only in the new document (added since the baseline was committed)
+// are reported as "new row" and never fail the comparison — even when
+// the shared rows are at the edge of the threshold.
+func TestCompareToleratesNewRows(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeBaseline(t, dir, "old.json", []baselineResult{
+		{Name: "diff/one-shot", NsPerOp: 1000, AllocsPerOp: 2},
+	})
+	newPath := writeBaseline(t, dir, "new.json", []baselineResult{
+		{Name: "diff/one-shot", NsPerOp: 1000, AllocsPerOp: 2},
+		{Name: "recipe/diff/16MiB", NsPerOp: 700, AllocsPerOp: 9},
+		{Name: "chunk/split/16MiB", NsPerOp: 300, AllocsPerOp: 0},
+	})
+	var buf bytes.Buffer
+	if err := runCompare(&buf, oldPath, newPath, 0.25); err != nil {
+		t.Fatalf("new rows must not fail compare: %v\n%s", err, buf.String())
+	}
+	outStr := buf.String()
+	if !strings.Contains(outStr, "1 compared, 0 regressed, 0 skipped, 2 new") {
+		t.Fatalf("unexpected summary:\n%s", outStr)
+	}
+	if !strings.Contains(outStr, "new row (no old measurement)") {
+		t.Fatalf("new-row verdict missing:\n%s", outStr)
+	}
+}
+
 func TestCompareNoSharedBenchmarks(t *testing.T) {
 	dir := t.TempDir()
 	oldPath := writeBaseline(t, dir, "old.json", []baselineResult{

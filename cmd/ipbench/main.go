@@ -11,6 +11,7 @@
 //	ipbench -bench-baseline [-baseline-out FILE] [-quick] [-seed N]
 //	ipbench -compare OLD.json [-compare-to NEW.json] [-threshold R]
 //	ipbench -scaling-gate [-gate-threshold R] [-quick] [-seed N]
+//	ipbench -recipe-gate [-recipe-speedup F] [-quick] [-seed N]
 //
 // With no experiment flags, all experiments run. -json emits one JSON
 // document with every selected result instead of rendered tables.
@@ -25,6 +26,10 @@
 // parallel at 1..NumCPU workers, auto) in-process and exits non-zero when
 // parallel at full core count or the auto engine loses to sequential
 // reuse by more than -gate-threshold (default 0.05, i.e. 5%).
+// -recipe-gate checks both correctness and speed of the chunked
+// recipe-diff fast path on a 16 MiB 5%-churn input: both deltas must
+// reconstruct identical bytes, and recipe diffing must beat the full
+// differ by at least -recipe-speedup (default 2.0x).
 package main
 
 import (
@@ -76,6 +81,8 @@ func run(args []string) error {
 	threshold := fs.Float64("threshold", 0.25, "allowed ns/op slowdown ratio for -compare (0.25 = 25%)")
 	scalingGate := fs.Bool("scaling-gate", false, "measure the diff scaling curve and exit non-zero when parallel at full core count or auto loses to sequential reuse")
 	gateThreshold := fs.Float64("gate-threshold", 0.05, "allowed slowdown ratio for -scaling-gate (0.05 = 5%)")
+	recipeGate := fs.Bool("recipe-gate", false, "measure recipe diff vs the full differ on churned input and exit non-zero unless recipe wins by -recipe-speedup")
+	recipeSpeedup := fs.Float64("recipe-speedup", 2.0, "required recipe-vs-full speedup factor for -recipe-gate")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,6 +91,9 @@ func run(args []string) error {
 	}
 	if *scalingGate {
 		return runScalingGate(os.Stdout, *gateThreshold, *quick, *seed)
+	}
+	if *recipeGate {
+		return runRecipeGate(os.Stdout, *recipeSpeedup, *quick, *seed)
 	}
 	if *benchBaseline {
 		return runBaseline(os.Stdout, *baselineOut, *quick, *seed)

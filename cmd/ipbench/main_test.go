@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -67,6 +68,8 @@ func TestRunBenchBaseline(t *testing.T) {
 	want := map[string]bool{
 		"convert/one-shot": false, "convert/reuse": false, "crwi/build": false,
 		"diff/one-shot": false, "diff/reuse": false, "batch/4": false,
+		"chunk/split/1MiB": false, "chunk/ingest/1MiB": false,
+		"recipe/diff/1MiB": false, "diff/full/1MiB": false,
 	}
 	for _, r := range doc.Results {
 		if _, ok := want[r.Name]; ok {
@@ -96,5 +99,26 @@ func TestRunBenchBaseline(t *testing.T) {
 	}
 	if err := run([]string{"-bench-baseline", "-baseline-out", "/definitely/missing/dir/out.json", "-quick"}); err == nil {
 		t.Error("unwritable baseline path accepted")
+	}
+}
+
+func TestRunRecipeGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gate measurement is slow")
+	}
+	// The quick gate must pass on any machine: the chunked fast path's win
+	// on blocky churn is structural (it skips matched chunks entirely), not
+	// a machine-dependent constant.
+	if err := run([]string{"-quick", "-recipe-gate"}); err != nil {
+		t.Fatal(err)
+	}
+	// An absurd required speedup must fail loudly, proving the gate gates.
+	err := run([]string{"-quick", "-recipe-gate", "-recipe-speedup", "1e9"})
+	if err == nil {
+		t.Fatal("unreachable speedup requirement passed")
+	}
+	var g errRecipeGate
+	if !errors.As(err, &g) {
+		t.Fatalf("want errRecipeGate, got %v", err)
 	}
 }

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+
+	"ipdelta/internal/chunk"
+)
+
+func TestChunkCommand(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(11))
+	a := make([]byte, 256<<10)
+	rng.Read(a)
+	b := append([]byte(nil), a...)
+	rng.Read(b[64<<10 : 96<<10]) // churn a region; the rest dedups
+	pa := writeTemp(t, dir, "a.bin", a)
+	pb := writeTemp(t, dir, "b.bin", b)
+	recipePath := dir + "/b.recipe"
+
+	if err := run([]string{"chunk", "-out", recipePath, pa, pb}); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := os.ReadFile(recipePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := chunk.DecodeRecipe(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Total() != int64(len(b)) {
+		t.Fatalf("recipe total %d, want %d", r.Total(), len(b))
+	}
+
+	// Bad params and missing files are reported, not panicked.
+	if err := run([]string{"chunk"}); err == nil {
+		t.Fatal("no files accepted")
+	}
+	if err := run([]string{"chunk", "-avg", "3000", pa}); err == nil {
+		t.Fatal("non-power-of-two avg accepted")
+	}
+	if err := run([]string{"chunk", dir + "/nonexistent"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -11,6 +11,7 @@
 //	ipdelta verify  -ref OLD -delta FILE -version NEW
 //	ipdelta compose -first A2B -second B2C -out A2C [-format F]
 //	ipdelta invert  -ref OLD -delta FILE -out FILE [-format F]
+//	ipdelta chunk   [-min N] [-avg N] [-max N] [-out RECIPE] FILE...
 //
 // Formats: ordered, offsets, legacy-ordered, legacy-offsets, compact.
 // Policies: locally-minimum (default), constant-time.
@@ -41,7 +42,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return errors.New("usage: ipdelta {diff|convert|patch|info|verify|compose|invert} [flags]")
+		return errors.New("usage: ipdelta {diff|convert|patch|info|verify|compose|invert|chunk} [flags]")
 	}
 	switch args[0] {
 	case "diff":
@@ -58,6 +59,8 @@ func run(args []string) error {
 		return cmdCompose(args[1:])
 	case "invert":
 		return cmdInvert(args[1:])
+	case "chunk":
+		return cmdChunk(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}

@@ -59,6 +59,7 @@ func run(args []string) error {
 	nf.RegisterTransport(fs)
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics on this HTTP address (empty = disabled)")
 	diffWorkers := fs.Int("diff-workers", -1, "parallel diff workers (-1 = auto-select per input, 0 = sequential)")
+	diffName := fs.String("diff", "", "differencing algorithm by name (linear, parallel, recipe, ...); overrides -diff-workers")
 	verbose := fs.Bool("v", false, "log each session (structured, stderr)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,6 +87,12 @@ func run(args []string) error {
 		netupdate.WithLogger(logger),
 	)
 	switch {
+	case *diffName != "":
+		algo, err := diff.ByName(*diffName)
+		if err != nil {
+			return err
+		}
+		srvOpts = append(srvOpts, netupdate.WithAlgorithm(algo))
 	case *diffWorkers > 0:
 		srvOpts = append(srvOpts, netupdate.WithAlgorithm(diff.NewParallel(*diffWorkers)))
 	case *diffWorkers < 0:

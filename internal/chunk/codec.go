@@ -1,0 +1,113 @@
+package chunk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Recipe container wire format (self-verifying, mirroring the store
+// container v2 discipline: a format-version byte, every claimed length
+// bounds-checked before allocation, and checksums that make a bit flip a
+// detected error rather than silently wrong content):
+//
+//	magic "IPRC" | version byte | uvarint chunk count | total-length uvarint
+//	per chunk: 32-byte ID | uvarint length | 4-byte CRC32 (LE) of content
+//	trailer: 4-byte CRC32 (LE) over everything preceding it
+//
+// The trailer CRC protects the IDs themselves (a flipped address would
+// otherwise still "verify" — it would just fetch the wrong chunk, which
+// the per-chunk CRC only catches if content is actually fetched).
+
+// ErrRecipeCorrupt reports a recipe container that fails validation.
+var ErrRecipeCorrupt = errors.New("chunk: corrupt recipe container")
+
+var recipeMagic = [4]byte{'I', 'P', 'R', 'C'}
+
+// recipeFormatVersion is the container format generation.
+const recipeFormatVersion = 1
+
+// maxRecipeChunkLen bounds a single chunk's claimed length: far above
+// any real Max bound, far below anything that could overflow a sum.
+const maxRecipeChunkLen = 1 << 31
+
+// EncodeRecipe serializes r.
+func EncodeRecipe(r Recipe) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	buf := make([]byte, 0, 5+2*binary.MaxVarintLen64+len(r.Chunks)*(len(ID{})+binary.MaxVarintLen64+4)+4)
+	buf = append(buf, recipeMagic[:]...)
+	buf = append(buf, recipeFormatVersion)
+	buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(len(r.Chunks)))]...)
+	buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(r.Total()))]...)
+	for _, c := range r.Chunks {
+		buf = append(buf, c.ID[:]...)
+		buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(c.Length))]...)
+		buf = binary.LittleEndian.AppendUint32(buf, c.CRC)
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// DecodeRecipe parses a recipe container. Hostile input — truncations,
+// bit flips, absurd chunk counts or lengths — yields ErrRecipeCorrupt,
+// never a panic or an allocation proportional to a claimed count beyond
+// what the input itself could describe.
+func DecodeRecipe(data []byte) (Recipe, error) {
+	if len(data) < 4+1+1+1+4 || [4]byte(data[:4]) != recipeMagic {
+		return Recipe{}, ErrRecipeCorrupt
+	}
+	if data[4] != recipeFormatVersion {
+		return Recipe{}, fmt.Errorf("%w: unsupported format version %d", ErrRecipeCorrupt, data[4])
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
+		return Recipe{}, fmt.Errorf("%w: container checksum", ErrRecipeCorrupt)
+	}
+	rest := body[5:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return Recipe{}, fmt.Errorf("%w: chunk count", ErrRecipeCorrupt)
+	}
+	rest = rest[n:]
+	// Each chunk costs at least 32+1+4 bytes on the wire, so a count the
+	// remaining input cannot carry is hostile — reject before allocating.
+	const minPerChunk = len(ID{}) + 1 + 4
+	if count > uint64(len(rest))/uint64(minPerChunk)+1 {
+		return Recipe{}, fmt.Errorf("%w: chunk count exceeds input", ErrRecipeCorrupt)
+	}
+	total, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return Recipe{}, fmt.Errorf("%w: total length", ErrRecipeCorrupt)
+	}
+	rest = rest[n:]
+	r := Recipe{Chunks: make([]Ref, 0, count)}
+	var sum uint64
+	for k := uint64(0); k < count; k++ {
+		if len(rest) < len(ID{}) {
+			return Recipe{}, fmt.Errorf("%w: chunk %d truncated", ErrRecipeCorrupt, k)
+		}
+		var c Ref
+		copy(c.ID[:], rest)
+		rest = rest[len(ID{}):]
+		length, n := binary.Uvarint(rest)
+		if n <= 0 || length == 0 || length > maxRecipeChunkLen {
+			return Recipe{}, fmt.Errorf("%w: chunk %d length", ErrRecipeCorrupt, k)
+		}
+		rest = rest[n:]
+		if len(rest) < 4 {
+			return Recipe{}, fmt.Errorf("%w: chunk %d CRC truncated", ErrRecipeCorrupt, k)
+		}
+		c.Length = int64(length)
+		c.CRC = binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		sum += length
+		r.Chunks = append(r.Chunks, c)
+	}
+	if len(rest) != 0 {
+		return Recipe{}, fmt.Errorf("%w: %d trailing bytes", ErrRecipeCorrupt, len(rest))
+	}
+	if sum != total {
+		return Recipe{}, fmt.Errorf("%w: chunk lengths sum to %d, header claims %d", ErrRecipeCorrupt, sum, total)
+	}
+	return r, nil
+}

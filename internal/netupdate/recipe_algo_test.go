@@ -1,0 +1,38 @@
+package netupdate
+
+import (
+	"bytes"
+	"testing"
+
+	"ipdelta/internal/diff"
+)
+
+// TestUpdateSessionWithRecipeAlgorithm runs a full device update session
+// with the server sourcing its deltas from chunk recipes — the recipe
+// Algorithm plugged in through the ordinary option — and checks the
+// device converges on the head image.
+func TestUpdateSessionWithRecipeAlgorithm(t *testing.T) {
+	history := makeHistory(3, 64<<10, 9)
+	algo, err := diff.ByName("recipe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(history, WithAlgorithm(algo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := deviceFor(t, history[0], 128<<10)
+	res, err := runSession(t, s, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UpToDate || res.DeltaBytes == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if !bytes.Equal(dev.Image(), s.Current()) {
+		t.Fatal("device image is not the current version after a recipe-sourced update")
+	}
+	if res.DeltaBytes >= int64(len(s.Current())) {
+		t.Fatalf("recipe-sourced delta (%d bytes) not smaller than the full image (%d)", res.DeltaBytes, len(s.Current()))
+	}
+}

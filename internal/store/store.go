@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"ipdelta/internal/archive"
+	"ipdelta/internal/chunk"
 	"ipdelta/internal/codec"
 	"ipdelta/internal/delta"
 	"ipdelta/internal/diff"
@@ -93,6 +94,20 @@ type Store struct {
 	archUpTo int    // highest archived version, -1 when none
 	anchor   []byte // full image of version archUpTo (skip anchor)
 
+	// Chunked recipe tier (WithChunking): every version is also described
+	// as an ordered chunk recipe over a content-addressed dedup store.
+	// Appends then diff recipes instead of replaying the chain to
+	// materialize the head, DeltaBetween diffs the two endpoint recipes
+	// directly instead of composing the chain, and Version materializes
+	// from chunks without chain replay. recipes parallels releases and is
+	// guarded by mu; the chunk store may be shared across Stores (tenants),
+	// in which case identical content is held once.
+	chunked bool
+	ck      *chunk.Chunker
+	cs      *chunk.Store
+	rd      *diff.RecipeDiffer
+	recipes []chunk.Recipe
+
 	// Construction-time knobs recorded by options, consumed by finish.
 	cacheSize int
 	obsReg    *obs.Registry
@@ -105,6 +120,20 @@ type Option func(*Store)
 // (default linear).
 func WithAlgorithm(a diff.Algorithm) Option {
 	return func(s *Store) { s.algo = a }
+}
+
+// WithChunking enables the chunked recipe tier: versions are split by a
+// content-defined chunker into a content-addressed store, appends and
+// DeltaBetween run over recipes (whole-chunk copies plus byte diffs of
+// the unmatched runs, in bounded memory), and Version materializes from
+// chunks instead of replaying the delta chain. Pass a shared chunk store
+// to dedup identical content across Stores — different tenants' versions
+// that share chunks are held once — or nil for a private store.
+func WithChunking(shared *chunk.Store) Option {
+	return func(s *Store) {
+		s.chunked = true
+		s.cs = shared
+	}
 }
 
 // WithCache enables the materialization cache: up to max recently used
@@ -145,6 +174,22 @@ func New(base []byte, opts ...Option) *Store {
 	if s.cacheSize > 0 {
 		s.cache = newMatCache(s.cacheSize, s.obsReg)
 	}
+	if s.chunked {
+		s.ck, _ = chunk.NewChunker(chunk.Params{}) // zero params: statically valid defaults
+		if s.cs == nil {
+			var csOpts []chunk.StoreOption
+			if s.obsReg != nil {
+				csOpts = append(csOpts, chunk.WithObserver(s.obsReg))
+			}
+			s.cs = chunk.NewStore(csOpts...)
+		}
+		var rdOpts []diff.RecipeOption
+		if s.obsReg != nil {
+			rdOpts = append(rdOpts, diff.WithRecipeObserver(s.obsReg))
+		}
+		s.rd = diff.NewRecipeDiffer(rdOpts...)
+		s.recipes = []chunk.Recipe{s.cs.IngestAll(s.ck, base)}
+	}
 	s.releases = []release{{crc: crc32.ChecksumIEEE(base), length: int64(len(base))}}
 	return s
 }
@@ -163,6 +208,9 @@ func (s *Store) NumVersions() int {
 func (s *Store) AppendVersion(version []byte) (int, error) {
 	s.appendMu.Lock()
 	defer s.appendMu.Unlock()
+	if s.chunked {
+		return s.appendChunked(version)
+	}
 	head, err := s.Version(s.NumVersions() - 1)
 	if err != nil {
 		return 0, err
@@ -181,6 +229,42 @@ func (s *Store) AppendVersion(version []byte) (int, error) {
 	n := len(s.releases)
 	s.mu.Unlock()
 	return n - 1, nil
+}
+
+// appendChunked is the recipe append path (appendMu held): the new
+// version is chunked into the dedup store and diffed recipe-against-
+// recipe with the head — no head materialization, no full-file scan, and
+// working memory bounded by the diff window rather than the image size.
+func (s *Store) appendChunked(version []byte) (int, error) {
+	rn := s.cs.IngestAll(s.ck, version)
+	s.mu.RLock()
+	ro := s.recipes[len(s.recipes)-1]
+	s.mu.RUnlock()
+	d, err := s.rd.DiffRecipes(ro, rn, s.cs)
+	if err != nil {
+		s.cs.ReleaseRecipe(rn)
+		return 0, fmt.Errorf("store append: %w", err)
+	}
+	rel := release{
+		crc:    crc32.ChecksumIEEE(version),
+		length: int64(len(version)),
+		d:      d,
+	}
+	s.mu.Lock()
+	s.releases = append(s.releases, rel)
+	s.recipes = append(s.recipes, rn)
+	n := len(s.releases)
+	s.mu.Unlock()
+	return n - 1, nil
+}
+
+// ChunkStats reports the chunk store's resident-set summary; ok is false
+// when the store is not chunked.
+func (s *Store) ChunkStats() (chunk.Stats, bool) {
+	if !s.chunked {
+		return chunk.Stats{}, false
+	}
+	return s.cs.Stats(), true
 }
 
 // Version materializes version i by applying the delta chain. On a
@@ -213,6 +297,25 @@ func (s *Store) Version(i int) ([]byte, error) {
 // were checked by the caller; the chain below i is immutable, so the
 // releases snapshot stays valid after the lock is dropped.
 func (s *Store) materialize(i int, c *matCache) ([]byte, error) {
+	if s.chunked {
+		// Chunk-addressed materialization: no chain replay at any depth,
+		// and every chunk is verified against its recipe identity.
+		var span obs.Span
+		if s.met != nil {
+			span = s.met.materialize.Start()
+		}
+		s.mu.RLock()
+		r := s.recipes[i]
+		s.mu.RUnlock()
+		img, err := chunk.Materialize(nil, r, s.cs)
+		if s.met != nil {
+			span.End()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("store version %d: %w", i, err)
+		}
+		return img, nil
+	}
 	if img, ok := s.tierRead(i); ok {
 		// The image is freshly reconstructed from shards, so handing it
 		// out (or caching it as a shared artifact) aliases nothing.
@@ -309,11 +412,25 @@ func (s *Store) DeltaBetween(i, j int) (*delta.Delta, error) {
 	return v.(*delta.Delta), nil
 }
 
-// compose folds the stored chain (i, j] into one delta.
+// compose folds the stored chain (i, j] into one delta. On a chunked
+// store it instead diffs the endpoint recipes directly: the result is
+// independent of the chain length between i and j, and typically tighter
+// than a composition (composition can only intersect stored commands;
+// the recipe diff rediscovers every chunk i and j still share).
 func (s *Store) compose(i, j int) (*delta.Delta, error) {
 	var span obs.Span
 	if s.met != nil {
 		span = s.met.compose.Start()
+	}
+	if s.chunked {
+		s.mu.RLock()
+		ri, rj := s.recipes[i], s.recipes[j]
+		s.mu.RUnlock()
+		d, err := s.rd.DiffRecipes(ri, rj, s.cs)
+		if s.met != nil {
+			span.End()
+		}
+		return d, err
 	}
 	s.mu.RLock()
 	chain := make([]*delta.Delta, 0, j-i)
@@ -511,6 +628,12 @@ func Load(data []byte, opts ...Option) (*Store, error) {
 			length: lengths[k],
 			d:      d,
 		})
+		if s.chunked {
+			// Rebuild the recipe tier: recipes are derived state, not part
+			// of the container, so a chunked Load re-ingests each replayed
+			// version (deduped against everything already resident).
+			s.recipes = append(s.recipes, s.cs.IngestAll(s.ck, next))
+		}
 		cur = next
 	}
 	return s, nil
